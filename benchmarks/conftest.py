@@ -1,0 +1,45 @@
+"""Benchmark-suite configuration.
+
+Every file regenerates one table or figure of the paper (DESIGN.md §3 maps
+them).  Runs use the ``tiny``/``small`` CPU scales; the paper-shape
+assertions (who wins, by what factor) are checked with generous margins,
+and full raw numbers are recorded in ``benchmark.extra_info`` and printed.
+
+Environment knobs:
+
+- ``REPRO_BENCH_SCALE``  — ``tiny`` (default) or ``small``.
+- ``REPRO_BENCH_SEED``   — experiment seed (default 0).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import config_for
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+def bench_config(**overrides):
+    overrides.setdefault("seed", SEED)
+    return config_for(SCALE, **overrides)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the measured callable exactly once (FL rounds are minutes, not
+    microseconds) and attach its result to the benchmark record."""
+
+    def runner(fn, *args, **kwargs):
+        holder = {}
+
+        def wrapped():
+            holder["result"] = fn(*args, **kwargs)
+
+        benchmark.pedantic(wrapped, rounds=1, iterations=1, warmup_rounds=0)
+        return holder["result"]
+
+    return runner

@@ -1,0 +1,34 @@
+"""Fig. 4 ablation: salient parameter selection vs no selection (§V-F1).
+
+Paper shape: properly pruning unimportant weights does not harm training —
+curves with selection track (sometimes beat) the dense-upload variant,
+while uploading strictly fewer bytes.
+"""
+
+import json
+
+from benchmarks.conftest import bench_config
+from repro.experiments import ablation_selection
+from repro.experiments.learning_efficiency import converge_accuracy_summary
+
+
+def test_ablation_selection(once, benchmark):
+    cfg = bench_config(model="resnet20", n_clients=6, sample_ratio=1.0,
+                       rounds=10)
+    results = once(ablation_selection, cfg, 10)
+    summary = converge_accuracy_summary(
+        {k: v for k, v in results.items()})
+    print("\n=== Fig. 4: selection ablation ===")
+    for k, log in results.items():
+        print(f"{k:20s} accs={[round(a, 3) for a in log['val_acc']]} "
+              f"MB/rd={log.meta['per_round_per_client_mb']:.3f}")
+    benchmark.extra_info["summary"] = json.dumps(
+        {k: round(v, 4) for k, v in summary.items()})
+
+    with_sel = results["with_selection"]
+    without = results["without_selection"]
+    # selection must not collapse accuracy...
+    assert summary["with_selection"] >= summary["without_selection"] - 0.1
+    # ...and must communicate strictly less
+    assert (with_sel.meta["per_round_per_client_mb"]
+            < without.meta["per_round_per_client_mb"])

@@ -1,0 +1,35 @@
+"""FEMNIST leg of the learning-efficiency figure (§V-B).
+
+The paper's *negative* result: on the under-parameterised 2-layer CNN with
+LEAF's writer-partitioned FEMNIST, SPATL's over-parameterisation assumption
+breaks and it converges no faster than (sometimes slightly behind) the
+baselines.  We reproduce the setting and check SPATL remains within a
+modest gap — not that it wins.
+"""
+
+import json
+
+from benchmarks.conftest import bench_config
+from repro.experiments import learning_efficiency_curves
+from repro.experiments.learning_efficiency import converge_accuracy_summary
+
+
+def test_femnist_cnn_negative_result(once, benchmark):
+    cfg = bench_config(model="cnn2", dataset="femnist", num_classes=10,
+                       input_size=16, n_clients=6, sample_ratio=1.0,
+                       rounds=8, n_samples=1800)
+    results = once(learning_efficiency_curves, cfg,
+                   ("fedavg", "fedprox", "spatl"), 8)
+    summary = converge_accuracy_summary(results)
+    print("\n=== FEMNIST 2-layer CNN (paper's negative case) ===")
+    for m, log in results.items():
+        print(f"{m:9s} accs={[round(a, 3) for a in log['val_acc']]}")
+    benchmark.extra_info["summary"] = json.dumps(
+        {k: round(v, 4) for k, v in summary.items()})
+
+    # everything must train on the writer-partitioned data
+    assert all(v > 0.2 for v in summary.values())
+    # SPATL allowed to trail slightly (paper: "slightly lower accuracy
+    # than SoTAs" here) but not collapse
+    baseline_best = max(v for k, v in summary.items() if k != "spatl")
+    assert summary["spatl"] >= baseline_best - 0.25

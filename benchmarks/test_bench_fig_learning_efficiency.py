@@ -1,0 +1,39 @@
+"""Fig. 3 + the vgg_cifar curve grid: learning efficiency (§V-B).
+
+Regenerates accuracy-vs-round series for SPATL and the four baselines and
+checks the paper's shape: SPATL reaches competitive-or-better converged
+accuracy with a visibly more stable trajectory than FedAvg.
+"""
+
+import json
+
+from benchmarks.conftest import bench_config
+from repro.experiments import learning_efficiency_curves
+from repro.experiments.ablation import stability
+from repro.experiments.learning_efficiency import converge_accuracy_summary
+
+METHODS = ("fedavg", "fedprox", "fednova", "scaffold", "spatl")
+
+
+def test_learning_efficiency_resnet20(once, benchmark):
+    cfg = bench_config(model="resnet20", n_clients=6, sample_ratio=0.7)
+    results = once(learning_efficiency_curves, cfg, METHODS)
+
+    curves = {m: [round(a, 4) for a in log["val_acc"]]
+              for m, log in results.items()}
+    summary = converge_accuracy_summary(results)
+    benchmark.extra_info["curves"] = json.dumps(curves)
+    benchmark.extra_info["converge_acc"] = json.dumps(
+        {k: round(v, 4) for k, v in summary.items()})
+
+    print("\n=== Fig. 3 / learning efficiency (resnet20, "
+          f"{cfg.n_clients} clients, ratio {cfg.sample_ratio}) ===")
+    for m, series in curves.items():
+        print(f"{m:9s} {series}  converge={summary[m]:.3f} "
+              f"stability={stability(series):.3f}")
+
+    # Paper shape: SPATL competitive-or-better converged accuracy vs the
+    # mean baseline, and smoother than FedAvg.
+    baselines = [v for k, v in summary.items() if k != "spatl"]
+    assert summary["spatl"] >= min(baselines) - 0.05
+    assert stability(curves["spatl"]) <= stability(curves["fedavg"]) + 0.05

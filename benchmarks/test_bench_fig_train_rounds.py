@@ -1,0 +1,31 @@
+"""Train-rounds figure: rounds each method needs to hit target accuracies
+(§V-C, Fig. "train_rounds").
+
+Shape check: SPATL needs no more rounds than the slowest baselines at each
+reachable target (the paper shows SPATL fewest-or-near-fewest everywhere).
+"""
+
+import json
+
+from benchmarks.conftest import bench_config
+from repro.experiments import rounds_to_target_figure
+
+METHODS = ("fedavg", "fedprox", "scaffold", "spatl")
+
+
+def test_rounds_to_targets(once, benchmark):
+    cfg = bench_config(model="resnet20", n_clients=6, sample_ratio=0.7,
+                       rounds=12)
+    table = once(rounds_to_target_figure, cfg, (0.4, 0.5, 0.6), METHODS, 12)
+    print("\n=== rounds to target ===")
+    for method, hits in table.items():
+        print(f"{method:9s}", {t: hits[t] for t in sorted(hits)})
+    benchmark.extra_info["rounds_to_target"] = json.dumps(
+        {m: {str(t): v for t, v in hits.items()} for m, hits in table.items()})
+
+    for target in (0.4, 0.5):
+        spatl = table["spatl"][target]
+        others = [v for m, v in ((m, table[m][target]) for m in METHODS
+                                 if m != "spatl") if v is not None]
+        if spatl is not None and others:
+            assert spatl <= max(others) + 2

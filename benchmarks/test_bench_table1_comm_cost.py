@@ -1,0 +1,51 @@
+"""Table I: communication cost to reach a target accuracy (§V-C, Eq. 13).
+
+Measured at CPU scale, plus the full-size per-round payload each protocol
+implies (the paper's "Cost Round/Client" column).  Shape checks:
+
+- SCAFFOLD and FedNova per-round cost ~2x FedAvg;
+- SPATL per-round cost strictly below SCAFFOLD's;
+- SPATL total cost to target is the lowest (the headline claim).
+"""
+
+import json
+
+from benchmarks.conftest import bench_config
+from repro.experiments.communication import (paper_scale_mb_per_round,
+                                             render_cost_table,
+                                             table1_target_cost)
+
+METHODS = ("fedavg", "fedprox", "fednova", "scaffold", "spatl")
+
+
+def test_table1_resnet20(once, benchmark):
+    cfg = bench_config(model="resnet20", n_clients=6, sample_ratio=1.0,
+                       rounds=14)
+    rows = once(table1_target_cost, cfg, 0.6, METHODS, 14)
+    print("\n" + render_cost_table(rows, "Table I (scaled): cost to 60% acc"))
+
+    by = {r.method: r for r in rows}
+    benchmark.extra_info["rows"] = json.dumps(
+        {r.method: [r.rounds, r.reached_target, round(r.mb_per_round_client, 3),
+                    round(r.total_gb, 5)] for r in rows})
+
+    # Full-size implied per-round payloads (paper column).
+    spatl_ratio = (by["spatl"].mb_per_round_client
+                   / by["fedavg"].mb_per_round_client * 2.0)
+    full = {m: paper_scale_mb_per_round(
+        m, "resnet20", measured_ratio=spatl_ratio) for m in METHODS}
+    print("full-size MB/round/client:",
+          {k: round(v, 2) for k, v in full.items()})
+    benchmark.extra_info["full_size_mb"] = json.dumps(
+        {k: round(v, 3) for k, v in full.items()})
+
+    # Shape assertions (generous margins).
+    fa = by["fedavg"].mb_per_round_client
+    assert 1.6 < by["scaffold"].mb_per_round_client / fa < 2.4
+    assert 1.6 < by["fednova"].mb_per_round_client / fa < 2.4
+    assert by["spatl"].mb_per_round_client < by["scaffold"].mb_per_round_client
+    # SPATL must be among the cheapest to target overall.
+    reached = [r for r in rows if r.reached_target]
+    if by["spatl"].reached_target and len(reached) > 1:
+        cheapest = min(reached, key=lambda r: r.total_gb)
+        assert by["spatl"].total_gb <= cheapest.total_gb * 1.6

@@ -1,0 +1,33 @@
+"""Pruning-method comparison (Table IV, §V-F1).
+
+RL agent vs SFP / FPGM / DSA / magnitude / random on the plain pruning
+task.  Paper shape: the agent is competitive with the classical criteria
+(small accuracy drop at comparable FLOPs reduction) and clearly better
+than random selection.
+"""
+
+import json
+
+from benchmarks.conftest import bench_config
+from repro.experiments import pruning_comparison_table
+from repro.experiments.pruning_compare import render_pruning_table
+
+
+def test_pruning_comparison(once, benchmark):
+    cfg = bench_config(model="resnet20", flops_target=0.75,
+                       n_samples=1600)
+    results = once(pruning_comparison_table, cfg, 0.25, 5, 1, 6)
+    print("\n" + render_pruning_table(results))
+    by = {r.method: r for r in results}
+    benchmark.extra_info["rows"] = json.dumps(
+        {r.method: [round(r.acc_dense, 4), round(r.acc_pruned, 4),
+                    round(r.flops_reduction, 4)] for r in results})
+
+    agent = by["rl-agent (SPATL)"]
+    assert agent.flops_reduction > 0.1
+    # competitive: within a margin of the best classical criterion
+    classical = [by[m] for m in ("magnitude-l2", "sfp", "fpgm", "dsa")]
+    best = max(r.acc_pruned for r in classical)
+    assert agent.acc_pruned >= best - 0.25
+    # informed selection should beat random at matched budgets (allow noise)
+    assert agent.acc_pruned >= by["random"].acc_pruned - 0.15

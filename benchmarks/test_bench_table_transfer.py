@@ -1,0 +1,33 @@
+"""Transferability table (Table III, §V-E).
+
+FL-train on one split, fine-tune on a held-out split.  Paper shape:
+SPATL's encoder (trained without ever sharing a predictor) transfers
+comparably to fully-shared baselines.
+"""
+
+import json
+
+from benchmarks.conftest import bench_config
+from repro.experiments import transferability_table
+
+
+def test_transferability(once, benchmark):
+    cfg = bench_config(model="resnet20", n_clients=6, sample_ratio=1.0,
+                       rounds=8)
+    results = once(transferability_table, cfg,
+                   ("fedavg", "scaffold", "spatl"), 0.25, 3, 8)
+    print("\n=== Table III: transfer to held-out data ===")
+    for m, r in results.items():
+        print(f"{m:9s} fl_acc={r['fl_acc']:.3f} zero_shot={r['zero_shot_acc']:.3f} "
+              f"transfer={r['transfer_acc']:.3f}")
+    benchmark.extra_info["results"] = json.dumps(
+        {m: {k: round(v, 4) for k, v in r.items()}
+         for m, r in results.items()})
+
+    # transfer fine-tuning must actually help over zero-shot
+    for m, r in results.items():
+        assert r["transfer_acc"] >= r["zero_shot_acc"] - 0.05, m
+    # parity: SPATL within a few points of the best baseline
+    best_baseline = max(r["transfer_acc"] for m, r in results.items()
+                        if m != "spatl")
+    assert results["spatl"]["transfer_acc"] >= best_baseline - 0.15

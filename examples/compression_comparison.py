@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Compare communication-compression strategies on one non-IID setting.
+
+Pits SPATL's *structured* salient selection against the two generic
+compressors the FL literature reaches for first:
+
+- top-k delta sparsification with error feedback (``FedTopK``);
+- fp16 payload quantisation on top of plain FedAvg.
+
+The point the paper makes implicitly: generic compression shrinks bytes
+but buys no inference speedup and no heterogeneity handling; SPATL's
+selection is structural (whole filters), so the same mechanism that cuts
+uplink also prunes client models and cooperates with private predictors.
+
+Usage::
+
+    python examples/compression_comparison.py [--rounds N]
+"""
+
+import argparse
+
+from repro.core import SPATL, StaticSaliencyPolicy
+from repro.data import SyntheticCIFAR10, dirichlet_partition
+from repro.fl import FedAvg, FedTopK, dequantize_state, make_federated_clients, \
+    quantize_state
+from repro.graph import build_graph
+from repro.models import build_model
+from repro.utils.logging import render_table
+
+
+class FP16FedAvg(FedAvg):
+    """FedAvg whose uploads cross an fp16 wire (lossy but cheap)."""
+
+    name = "fedavg-fp16"
+
+    def upload_payload(self, update):
+        return quantize_state(update["state"])
+
+    def aggregate(self, updates, round_idx):
+        for u in updates:
+            u["state"] = dequantize_state(quantize_state(u["state"]))
+        super().aggregate(updates, round_idx)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=8)
+    args = parser.parse_args()
+
+    ds = SyntheticCIFAR10(n_samples=1800, size=16, seed=21)
+    parts = dirichlet_partition(ds.y, 6, beta=0.5, seed=2)
+
+    def model_fn():
+        return build_model("resnet20", input_size=16, width_mult=0.25,
+                           seed=3)
+
+    contenders = [
+        ("fedavg", lambda c: FedAvg(model_fn, c, lr=0.05, local_epochs=2,
+                                    sample_ratio=0.7, seed=1)),
+        ("fedavg-fp16", lambda c: FP16FedAvg(model_fn, c, lr=0.05,
+                                             local_epochs=2,
+                                             sample_ratio=0.7, seed=1)),
+        ("fedtopk-25%", lambda c: FedTopK(model_fn, c, lr=0.05,
+                                          local_epochs=2, sample_ratio=0.7,
+                                          fraction=0.25, seed=1)),
+        ("spatl", lambda c: SPATL(model_fn, c,
+                                  selection_policy=StaticSaliencyPolicy(0.3),
+                                  lr=0.05, local_epochs=2, sample_ratio=0.7,
+                                  seed=1)),
+    ]
+
+    rows = []
+    for name, make in contenders:
+        clients = make_federated_clients(ds, parts, batch_size=32, seed=0)
+        algo = make(clients)
+        log = algo.run(rounds=args.rounds)
+        flops = "-"
+        if isinstance(algo, SPATL) and algo.last_selection:
+            graph = build_graph(algo.global_model.encoder)
+            ratios = [graph.flops_ratio(s.keep)
+                      for s in algo.last_selection.values()]
+            flops = f"{(1 - sum(ratios) / len(ratios)):.0%} less"
+        rows.append([name, f"{log.last('val_acc'):.3f}",
+                     f"{log.meta['per_round_per_client_mb']:.3f}",
+                     f"{log.meta['total_gb'] * 1024:.2f}", flops])
+
+    print(render_table(
+        ["method", "final acc", "MB/round/client", "total MB",
+         "client inference FLOPs"],
+        rows, title=f"Compression strategies ({args.rounds} rounds, "
+                    f"6 clients, Dirichlet 0.5)"))
+    print("\nOnly SPATL's column on the right is non-trivial: structured "
+          "selection is the one compressor that also accelerates client "
+          "inference.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Knowledge transfer to heterogeneous clients (§IV-A, Eq. 1-4).
+
+Demonstrates the two transfer paths of the paper:
+
+- *participating* clients train encoder + private predictor jointly and
+  end up with uniform per-client accuracy despite non-IID data;
+- a client that *never participated* downloads the trained encoder and
+  adapts only its local predictor (Eq. 4) — a few cheap epochs suffice.
+
+Usage::
+
+    python examples/heterogeneous_transfer.py
+"""
+
+import numpy as np
+
+from repro.core import SPATL, StaticSaliencyPolicy, transfer_to_client
+from repro.data import SyntheticCIFAR10, dirichlet_partition
+from repro.fl import make_federated_clients
+from repro.models import build_model
+
+
+def main() -> None:
+    ds = SyntheticCIFAR10(n_samples=2200, size=16, seed=11)
+    # strong label skew: each client sees a very different class mix
+    parts = dirichlet_partition(ds.y, 8, beta=0.2, seed=4)
+    clients = make_federated_clients(ds, parts, batch_size=32, seed=0)
+
+    histograms = [np.bincount(ds.y[p], minlength=10) for p in parts]
+    print("per-client label histograms (beta=0.2 -> strongly non-IID):")
+    for cid, h in enumerate(histograms):
+        print(f"  client {cid}: {h.tolist()}")
+
+    def model_fn():
+        return build_model("resnet20", input_size=16, width_mult=0.25,
+                           seed=1)
+
+    # hold client 7 out of federation entirely
+    participating = clients[:7]
+    late_client = clients[7]
+
+    print("\n== federated training (7 participating clients) ==")
+    algo = SPATL(model_fn, participating,
+                 selection_policy=StaticSaliencyPolicy(0.3),
+                 lr=0.05, local_epochs=2, sample_ratio=1.0, seed=0)
+    log = algo.run(rounds=8)
+    print("avg accuracy per round:", [round(a, 3) for a in log["val_acc"]])
+    per_client = algo.per_client_accuracy()
+    print("per-client accuracy:", [round(a, 3) for a in per_client],
+          f"(std {np.std(per_client):.3f})")
+
+    print("\n== Eq. 4: late client adapts predictor only ==")
+    late_model = model_fn()
+    late_model.load_encoder_state(algo.global_model.encoder_state())
+    acc_before, _ = late_client.evaluate(late_model)
+    transfer_to_client(late_model, late_client, epochs=3, lr=0.05)
+    acc_after, _ = late_client.evaluate(late_model)
+    print(f"late client accuracy: {acc_before:.3f} (fresh head) -> "
+          f"{acc_after:.3f} (predictor-only adaptation, encoder frozen)")
+    print("\nThe shared encoder's knowledge transfers: the unseen client "
+          "reaches federation-level accuracy without joining a single "
+          "round or sharing a byte of its data.")
+
+
+if __name__ == "__main__":
+    main()

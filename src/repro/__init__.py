@@ -1,0 +1,34 @@
+"""SPATL reproduction — Salient Parameter Aggregation and Transfer Learning
+for Heterogeneous Federated Learning (SC 2022).
+
+A complete, dependency-light (NumPy/SciPy/networkx) implementation of the
+paper's method and every substrate it needs: an autograd engine, a neural-
+network library and model zoo, non-IID federated data pipelines, the four
+baseline FL algorithms, a GNN+PPO salient-parameter agent, and an
+experiment harness regenerating each table and figure of the paper's
+evaluation.
+
+Quickstart::
+
+    from repro import config_for, run_algorithms, compare_table
+    cfg = config_for("tiny", model="resnet20", n_clients=8, sample_ratio=0.5)
+    results = run_algorithms(cfg, ["fedavg", "scaffold", "spatl"])
+    print(compare_table(results, target_accuracy=0.6))
+
+See README.md for the architecture overview and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from repro.core import SPATL
+from repro.experiments import (compare_table, config_for, run_algorithms,
+                               ExperimentConfig)
+from repro.fl import FedAvg, FedNova, FedProx, Scaffold
+from repro.models import build_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SPATL", "FedAvg", "FedProx", "FedNova", "Scaffold",
+    "build_model", "config_for", "run_algorithms", "compare_table",
+    "ExperimentConfig", "__version__",
+]

@@ -1,0 +1,180 @@
+"""Command-line entry point: run any paper experiment by name.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli learning-efficiency --scale tiny --model resnet20
+    python -m repro.cli table1 --target 0.6 --clients 6
+    python -m repro.cli ablation-gradctl --rounds 12
+    python -m repro.cli all --scale tiny          # everything, sequentially
+
+Each command prints the same rows/series its paper counterpart reports and
+exits non-zero on failure, so the CLI doubles as a smoke harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments import (ablation_gradient_control, ablation_selection,
+                               ablation_transfer, config_for,
+                               inference_acceleration_table,
+                               learning_efficiency_curves,
+                               local_accuracy_figure,
+                               pruning_comparison_table, rl_finetune_figure,
+                               rounds_to_target_figure, table1_target_cost,
+                               table2_convergence, transferability_table)
+from repro.experiments.communication import render_cost_table
+from repro.experiments.inference import render_inference_table
+from repro.experiments.learning_efficiency import converge_accuracy_summary
+from repro.experiments.pruning_compare import render_pruning_table
+
+
+def _cfg(args, **extra):
+    overrides = dict(model=args.model, n_clients=args.clients,
+                     sample_ratio=args.sample_ratio, seed=args.seed)
+    if args.rounds:
+        overrides["rounds"] = args.rounds
+    overrides.update(extra)
+    return config_for(args.scale, **overrides)
+
+
+def cmd_learning_efficiency(args) -> None:
+    """Fig. 3: accuracy-vs-round curves for all methods."""
+    cfg = _cfg(args)
+    results = learning_efficiency_curves(cfg)
+    print(json.dumps({m: [round(a, 4) for a in log["val_acc"]]
+                      for m, log in results.items()}, indent=2))
+    print("converged:", {k: round(v, 4) for k, v in
+                         converge_accuracy_summary(results).items()})
+
+
+def cmd_table1(args) -> None:
+    """Table I: cost to reach a target accuracy."""
+    cfg = _cfg(args)
+    rows = table1_target_cost(cfg, target=args.target)
+    print(render_cost_table(rows, f"Table I: cost to {args.target:.0%}"))
+
+
+def cmd_table2(args) -> None:
+    """Table II: train-to-convergence cost and accuracy."""
+    cfg = _cfg(args)
+    rows = table2_convergence(cfg, patience=args.patience)
+    print(render_cost_table(rows, "Table II: train to convergence"))
+
+
+def cmd_train_rounds(args) -> None:
+    """Rounds-to-target figure."""
+    cfg = _cfg(args)
+    print(json.dumps({m: {str(t): v for t, v in hits.items()}
+                      for m, hits in rounds_to_target_figure(cfg).items()},
+                     indent=2))
+
+
+def cmd_local_accuracy(args) -> None:
+    """Per-client accuracy figure (SPATL vs SCAFFOLD)."""
+    cfg = _cfg(args)
+    print(json.dumps(local_accuracy_figure(cfg), indent=2))
+
+
+def cmd_inference(args) -> None:
+    """Inference-acceleration (FLOPs) table."""
+    cfg = _cfg(args)
+    result = inference_acceleration_table(cfg)
+    print(render_inference_table([result]))
+
+
+def cmd_transfer(args) -> None:
+    """Table III: transferability to held-out data."""
+    cfg = _cfg(args)
+    print(json.dumps(transferability_table(cfg), indent=2))
+
+
+def cmd_pruning(args) -> None:
+    """Table IV: pruning-method comparison."""
+    cfg = _cfg(args)
+    print(render_pruning_table(pruning_comparison_table(cfg)))
+
+
+def cmd_ablation_selection(args) -> None:
+    """Fig. 4 ablation: selection on/off."""
+    _print_ablation(ablation_selection(_cfg(args)))
+
+
+def cmd_ablation_transfer(args) -> None:
+    """Fig. 5(a) ablation: transfer on/off."""
+    _print_ablation(ablation_transfer(_cfg(args, beta=0.2)))
+
+
+def cmd_ablation_gradctl(args) -> None:
+    """Fig. 5(b) ablation: gradient control on/off."""
+    _print_ablation(ablation_gradient_control(_cfg(args, sample_ratio=0.5)))
+
+
+def cmd_rl_finetune(args) -> None:
+    """Fig. 6: agent pretrain/finetune rewards."""
+    cfg = _cfg(args, model="resnet56")
+    result = rl_finetune_figure(cfg)
+    print("pretrain rewards:",
+          [round(r, 3) for r in result["pretrain_rewards"]])
+    print("finetune rewards:",
+          [round(r, 3) for r in result["finetune_rewards"]])
+
+
+def _print_ablation(results) -> None:
+    for name, log in results.items():
+        print(f"{name:26s} {[round(a, 3) for a in log['val_acc']]}")
+
+
+COMMANDS = {
+    "learning-efficiency": cmd_learning_efficiency,
+    "table1": cmd_table1,
+    "table2": cmd_table2,
+    "train-rounds": cmd_train_rounds,
+    "local-accuracy": cmd_local_accuracy,
+    "inference": cmd_inference,
+    "transfer": cmd_transfer,
+    "pruning": cmd_pruning,
+    "ablation-selection": cmd_ablation_selection,
+    "ablation-transfer": cmd_ablation_transfer,
+    "ablation-gradctl": cmd_ablation_gradctl,
+    "rl-finetune": cmd_rl_finetune,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (one subcommand per experiment)."""
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description=__doc__.split("\n")[0])
+    parser.add_argument("command", choices=list(COMMANDS) + ["list", "all"])
+    parser.add_argument("--scale", default="tiny",
+                        choices=["tiny", "small", "paper"])
+    parser.add_argument("--model", default="resnet20")
+    parser.add_argument("--clients", type=int, default=6)
+    parser.add_argument("--sample-ratio", type=float, default=0.7)
+    parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--target", type=float, default=0.6)
+    parser.add_argument("--patience", type=int, default=5)
+    return parser
+
+
+def main(argv=None) -> int:
+    """Dispatch a CLI invocation; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print("\n".join(COMMANDS))
+        return 0
+    if args.command == "all":
+        for name, fn in COMMANDS.items():
+            print(f"\n===== {name} =====")
+            fn(args)
+        return 0
+    COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""SPATL — the paper's primary contribution (§IV).
+
+Combines the three mechanisms on top of the FL substrate:
+
+- encoder/predictor knowledge transfer (:mod:`repro.core.transfer`, §IV-A);
+- salient parameter selection and index-wise sparse aggregation
+  (:mod:`repro.core.selection_policies`, :mod:`repro.core.aggregation`,
+  §IV-B, §IV-C1, Eq. 12);
+- generic-parameter (encoder-only) gradient control
+  (:mod:`repro.core.gradient_control`, §IV-C, Eq. 9-11).
+
+:class:`repro.core.spatl.SPATL` is the trainer; its ``use_selection``,
+``use_transfer`` and ``use_gradient_control`` switches drive the paper's
+three ablations (Fig. 4 / Fig. 5a / Fig. 5b).
+"""
+
+from repro.core.gradient_control import ControlVariate
+from repro.core.aggregation import salient_aggregate
+from repro.core.selection_policies import (SelectionPolicy, RLSelectionPolicy,
+                                           StaticSaliencyPolicy,
+                                           RandomSelectionPolicy,
+                                           NoSelectionPolicy)
+from repro.core.transfer import transfer_to_client
+from repro.core.spatl import SPATL
+
+__all__ = [
+    "ControlVariate", "salient_aggregate",
+    "SelectionPolicy", "RLSelectionPolicy", "StaticSaliencyPolicy",
+    "RandomSelectionPolicy", "NoSelectionPolicy",
+    "transfer_to_client", "SPATL",
+]

@@ -1,0 +1,60 @@
+"""Index-wise aggregation of salient parameters (§IV-C1, Eq. 12).
+
+Clients upload filter subsets of different sizes; aggregating them naively
+would mismatch shapes.  Following Eq. 12, the server updates each global
+coordinate only from the clients that *covered* it:
+
+    W_global[idx] += eta * mean_{i : idx in I_i} (W_i[idx] - W_global[idx])
+
+implemented as a sum/count scatter per filter row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def salient_aggregate(global_weight: np.ndarray,
+                      uploads: list[tuple[np.ndarray, np.ndarray]],
+                      step_size: float = 1.0) -> np.ndarray:
+    """Eq. 12 for one layer.
+
+    Parameters
+    ----------
+    global_weight:
+        Dense (out_c, ...) global tensor; not modified in place.
+    uploads:
+        Per-client ``(indices, rows)`` pairs, where ``rows`` has shape
+        ``(len(indices),) + global_weight.shape[1:]``.
+    step_size:
+        The update step ``eta`` of Eq. 12 (1.0 = move fully to the mean of
+        covering clients, the FedAvg-consistent choice).
+
+    Returns the updated dense tensor.  Rows no client selected are
+    untouched.
+    """
+    out = np.array(global_weight, dtype=np.float64)
+    acc = np.zeros_like(out)
+    counts = np.zeros(out.shape[0], dtype=np.int64)
+    for indices, rows in uploads:
+        indices = np.asarray(indices, dtype=np.int64)
+        rows = np.asarray(rows)
+        if rows.shape[0] != len(indices):
+            raise ValueError("upload rows/indices mismatch")
+        if len(indices) and (indices.min() < 0 or indices.max() >= out.shape[0]):
+            raise IndexError("salient index out of range")
+        np.add.at(acc, indices, rows.astype(np.float64) - out[indices])
+        np.add.at(counts, indices, 1)
+    covered = counts > 0
+    denom = counts[covered].reshape((-1,) + (1,) * (out.ndim - 1))
+    out[covered] += step_size * acc[covered] / denom
+    return out.astype(global_weight.dtype)
+
+
+def coverage_fraction(n_filters: int,
+                      uploads: list[tuple[np.ndarray, np.ndarray]]) -> float:
+    """Fraction of global filters covered by at least one client."""
+    covered = np.zeros(n_filters, dtype=bool)
+    for indices, _ in uploads:
+        covered[np.asarray(indices, dtype=np.int64)] = True
+    return float(covered.mean()) if n_filters else 1.0

@@ -1,0 +1,50 @@
+"""Knowledge transfer of the shared encoder to a client (§IV-A).
+
+Two cases from the paper:
+
+- participating clients jointly optimise encoder + predictor (Eq. 3) —
+  that path lives in :class:`repro.core.spatl.SPATL`;
+- clients *never selected* for communication download the trained encoder
+  and update **only their local predictor** (Eq. 4) before using the
+  model.  :func:`transfer_to_client` implements that path; it is also the
+  primitive behind the transferability experiment (Table III), which
+  transfers a federated encoder to an entirely held-out dataset.
+"""
+
+from __future__ import annotations
+
+from repro.data.datasets import ArrayDataset
+from repro.fl.local import train_local
+from repro.fl.client import Client
+from repro.models.split import SplitModel
+
+
+def transfer_to_client(model: SplitModel, client: Client, epochs: int = 3,
+                       lr: float = 0.01, momentum: float = 0.9,
+                       freeze_encoder: bool = True) -> float:
+    """Eq. 4: adapt the predictor to the client's data, encoder frozen.
+
+    Returns the mean local training loss.  With ``freeze_encoder=False``
+    this becomes full fine-tuning (used as the transfer-learning protocol
+    of Table III, "conducted in a regular manner").
+    """
+    if freeze_encoder:
+        keep = lambda name: name.startswith(SplitModel.PREDICTOR_PREFIX)
+    else:
+        keep = None
+    loss, _, _ = train_local(model, client, round_idx=0, epochs=epochs, lr=lr,
+                             momentum=momentum, param_filter=keep)
+    return loss
+
+
+def transfer_accuracy(model: SplitModel, train_data: ArrayDataset,
+                      test_data: ArrayDataset, epochs: int = 3,
+                      lr: float = 0.01, batch_size: int = 64, seed: int = 0,
+                      freeze_encoder: bool = False) -> float:
+    """Table-III protocol: fine-tune on new data, report test accuracy."""
+    client = Client(client_id=-1, train_data=train_data, val_data=test_data,
+                    batch_size=batch_size, seed=seed)
+    transfer_to_client(model, client, epochs=epochs, lr=lr,
+                       freeze_encoder=freeze_encoder)
+    acc, _ = client.evaluate(model, test_data)
+    return acc

@@ -1,0 +1,25 @@
+"""Datasets and federated partitioning.
+
+Real CIFAR-10 / FEMNIST are unavailable offline, so this package provides
+seeded *synthetic equivalents* with the same shapes, label spaces and —
+crucially for FL — the same non-IID structure knobs (Dirichlet label skew
+for CIFAR-10 per the Non-IID benchmark; natural per-writer skew for FEMNIST
+per LEAF).  See DESIGN.md §2 for the substitution rationale.
+"""
+
+from repro.data.datasets import (ArrayDataset, SyntheticCIFAR10,
+                                 SyntheticFEMNIST, train_val_split)
+from repro.data.partition import (dirichlet_partition, iid_partition,
+                                  shard_partition, by_writer_partition,
+                                  partition_summary, quantity_label_skew,
+                                  quantity_skew, feature_noise_levels,
+                                  apply_feature_noise)
+from repro.data.dataloader import DataLoader
+
+__all__ = [
+    "ArrayDataset", "SyntheticCIFAR10", "SyntheticFEMNIST", "train_val_split",
+    "dirichlet_partition", "iid_partition", "shard_partition",
+    "by_writer_partition", "partition_summary", "quantity_label_skew",
+    "quantity_skew", "feature_noise_levels", "apply_feature_noise",
+    "DataLoader",
+]

@@ -1,0 +1,48 @@
+"""Minimal deterministic mini-batch loader."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.datasets import ArrayDataset
+from repro.utils.rng import spawn_rng
+
+
+class DataLoader:
+    """Iterate (x_batch, y_batch) numpy pairs over an :class:`ArrayDataset`.
+
+    Shuffling is reseeded per epoch from a private stream, so two loaders
+    with the same (seed, dataset) produce identical batch sequences —
+    required for exactly reproducible FL rounds.
+    """
+
+    def __init__(self, dataset: ArrayDataset, batch_size: int = 32,
+                 shuffle: bool = True, seed: int = 0, drop_last: bool = False):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._seed = seed
+        self._epoch = 0
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self):
+        n = len(self.dataset)
+        if self.shuffle:
+            rng = spawn_rng(self._seed, "loader", self._epoch)
+            order = rng.permutation(n)
+        else:
+            order = np.arange(n)
+        self._epoch += 1
+        bs = self.batch_size
+        stop = n - (n % bs) if self.drop_last else n
+        for lo in range(0, stop, bs):
+            idx = order[lo:lo + bs]
+            yield self.dataset.x[idx], self.dataset.y[idx]

@@ -1,0 +1,33 @@
+"""Experiment harness: one module per paper table/figure (see DESIGN.md §3).
+
+Every experiment takes an :class:`~repro.experiments.configs.ExperimentConfig`
+(scaled for CPU by default, ``scale="paper"`` for full-size settings) and
+returns plain data structures that the benchmark suite renders as the
+paper's rows/series.
+"""
+
+from repro.experiments.configs import (ExperimentConfig, SCALES, config_for,
+                                       make_setting, make_algorithm)
+from repro.experiments.harness import run_algorithms, compare_table
+from repro.experiments.learning_efficiency import learning_efficiency_curves
+from repro.experiments.communication import (table1_target_cost,
+                                             table2_convergence,
+                                             rounds_to_target_figure)
+from repro.experiments.local_accuracy import local_accuracy_figure
+from repro.experiments.inference import inference_acceleration_table
+from repro.experiments.transfer import transferability_table
+from repro.experiments.pruning_compare import pruning_comparison_table
+from repro.experiments.ablation import (ablation_selection, ablation_transfer,
+                                        ablation_gradient_control)
+from repro.experiments.rl_finetune import rl_finetune_figure
+
+__all__ = [
+    "ExperimentConfig", "SCALES", "config_for", "make_setting", "make_algorithm",
+    "run_algorithms", "compare_table",
+    "learning_efficiency_curves",
+    "table1_target_cost", "table2_convergence", "rounds_to_target_figure",
+    "local_accuracy_figure", "inference_acceleration_table",
+    "transferability_table", "pruning_comparison_table",
+    "ablation_selection", "ablation_transfer", "ablation_gradient_control",
+    "rl_finetune_figure",
+]

@@ -1,0 +1,141 @@
+"""Experiment configuration: datasets, partitions, models, algorithms.
+
+The paper's settings (§V-A) are preserved structurally — Dirichlet(0.5)
+CIFAR-10 splits, LEAF-style FEMNIST, 10-100 clients, sample ratios 0.4-1.0,
+10 local epochs — while three *scales* control how much compute a run
+costs:
+
+- ``tiny``   — CI-friendly: 16x16 inputs, width 0.25, ~1-2k samples.
+- ``small``  — bench default: 16x16, width 0.25-0.5, more data/rounds.
+- ``paper``  — full-size 32x32 width-1.0 models and paper round counts
+  (provided for completeness; hours-to-days on one CPU).
+
+All experiment modules accept an :class:`ExperimentConfig` so the same
+code produces every scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+import numpy as np
+
+from repro.core import SPATL, RLSelectionPolicy, StaticSaliencyPolicy
+from repro.data import (SyntheticCIFAR10, SyntheticFEMNIST, by_writer_partition,
+                        dirichlet_partition)
+from repro.fl import ALGORITHMS, Client, make_federated_clients
+from repro.models import build_model
+from repro.rl import SalientParameterAgent
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One FL experiment setting."""
+
+    model: str = "resnet20"
+    dataset: str = "cifar10"
+    n_clients: int = 10
+    sample_ratio: float = 1.0
+    beta: float = 0.5              # Dirichlet concentration (paper: 0.5)
+    n_samples: int = 2000
+    input_size: int = 16
+    width_mult: float = 0.25
+    num_classes: int = 10
+    local_epochs: int = 3          # paper: 10
+    batch_size: int = 32
+    lr: float = 0.05
+    momentum: float = 0.9
+    rounds: int = 20
+    seed: int = 0
+    # SPATL knobs
+    selection_sparsity: float = 0.3
+    flops_target: float = 0.75
+    use_rl_policy: bool = False    # RL agent (True) vs static saliency policy
+
+    def scaled(self, **overrides) -> "ExperimentConfig":
+        return replace(self, **overrides)
+
+
+SCALES: dict[str, dict] = {
+    "tiny": dict(n_samples=1500, input_size=16, width_mult=0.25,
+                 local_epochs=2, rounds=10),
+    "small": dict(n_samples=3000, input_size=16, width_mult=0.25,
+                  local_epochs=3, rounds=25),
+    "paper": dict(n_samples=50_000, input_size=32, width_mult=1.0,
+                  local_epochs=10, rounds=400),
+}
+
+
+def config_for(scale: str = "tiny", **overrides) -> ExperimentConfig:
+    """Config at a named scale with per-experiment overrides."""
+    if scale not in SCALES:
+        raise KeyError(f"unknown scale {scale!r}; known: {sorted(SCALES)}")
+    return ExperimentConfig(**{**SCALES[scale], **overrides})
+
+
+def make_dataset(cfg: ExperimentConfig):
+    """Instantiate the config's dataset (synthetic CIFAR-10 or FEMNIST)."""
+    if cfg.dataset == "cifar10":
+        return SyntheticCIFAR10(n_samples=cfg.n_samples, size=cfg.input_size,
+                                seed=cfg.seed, num_classes=cfg.num_classes)
+    if cfg.dataset == "femnist":
+        per_writer = max(20, cfg.n_samples // max(cfg.n_clients * 5, 1))
+        return SyntheticFEMNIST(n_writers=cfg.n_clients * 5,
+                                samples_per_writer=per_writer,
+                                size=cfg.input_size, seed=cfg.seed,
+                                num_classes=cfg.num_classes)
+    raise KeyError(f"unknown dataset {cfg.dataset!r}")
+
+
+def make_setting(cfg: ExperimentConfig) -> tuple[Callable, list[Client]]:
+    """(model_fn, clients) for a config — the inputs every algorithm takes."""
+    ds = make_dataset(cfg)
+    if cfg.dataset == "femnist":
+        parts = by_writer_partition(ds.writer_ids, cfg.n_clients, seed=cfg.seed)
+    else:
+        parts = dirichlet_partition(ds.y, cfg.n_clients, beta=cfg.beta,
+                                    seed=cfg.seed)
+    clients = make_federated_clients(ds, parts, batch_size=cfg.batch_size,
+                                     seed=cfg.seed)
+    in_size = cfg.input_size
+
+    def model_fn():
+        return build_model(cfg.model, num_classes=cfg.num_classes,
+                           input_size=in_size, width_mult=cfg.width_mult,
+                           seed=cfg.seed + 1)
+
+    return model_fn, clients
+
+
+def make_spatl_policy(cfg: ExperimentConfig,
+                      pretrained: SalientParameterAgent | None = None):
+    """SPATL's selection policy per config: RL agent or static saliency."""
+    if cfg.use_rl_policy:
+        agent = pretrained or SalientParameterAgent(seed=cfg.seed)
+        return RLSelectionPolicy(agent, flops_target=cfg.flops_target,
+                                 finetune_rounds=2, finetune_updates=1)
+    return StaticSaliencyPolicy(cfg.selection_sparsity)
+
+
+def make_algorithm(name: str, cfg: ExperimentConfig, model_fn, clients,
+                   pretrained_agent: SalientParameterAgent | None = None,
+                   **overrides):
+    """Instantiate any algorithm (baseline or SPATL) for a setting.
+
+    All methods share the config's lr / local epochs / sampling so the
+    comparison isolates the algorithm, as in the Non-IID benchmark.
+    """
+    common = dict(lr=cfg.lr, local_epochs=cfg.local_epochs,
+                  sample_ratio=cfg.sample_ratio, momentum=cfg.momentum,
+                  seed=cfg.seed)
+    common.update(overrides)
+    if name == "spatl":
+        policy = common.pop("selection_policy", None) or \
+            make_spatl_policy(cfg, pretrained_agent)
+        return SPATL(model_fn, clients, selection_policy=policy, **common)
+    if name in ALGORITHMS:
+        if name == "scaffold":
+            common.pop("momentum", None)  # scaffold manages its own default
+        return ALGORITHMS[name](model_fn, clients, **common)
+    raise KeyError(f"unknown algorithm {name!r}")

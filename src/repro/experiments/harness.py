@@ -1,0 +1,57 @@
+"""Run multiple algorithms on a shared setting and compare the results."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.configs import ExperimentConfig, make_algorithm, \
+    make_setting
+from repro.utils.logging import ExperimentLog, render_table
+from repro.utils.metrics import best_smoothed, rounds_to_target
+
+
+def run_algorithms(cfg: ExperimentConfig, algorithms: Sequence[str],
+                   rounds: int | None = None,
+                   target_accuracy: float | None = None,
+                   patience: int | None = None,
+                   verbose: bool = False) -> dict[str, ExperimentLog]:
+    """Run each named algorithm on a *fresh* copy of the same setting.
+
+    Clients are rebuilt per algorithm so persistent client state (control
+    variates, private predictors) never leaks across methods.
+    """
+    rounds = rounds if rounds is not None else cfg.rounds
+    results: dict[str, ExperimentLog] = {}
+    for name in algorithms:
+        model_fn, clients = make_setting(cfg)
+        algo = make_algorithm(name, cfg, model_fn, clients)
+        log = algo.run(rounds, target_accuracy=target_accuracy,
+                       patience=patience, verbose=verbose)
+        log.meta["algorithm"] = name
+        log.meta["final_acc"] = log.last("val_acc")
+        log.meta["best_acc"] = best_smoothed(log["val_acc"], window=3)
+        results[name] = log
+        # Per-client diagnostics for the local-accuracy figure.
+        log.meta["per_client_acc"] = algo.per_client_accuracy()
+        if hasattr(algo, "inference_report"):
+            log.meta["inference"] = algo.inference_report()
+    return results
+
+
+def compare_table(results: dict[str, ExperimentLog],
+                  target_accuracy: float | None = None) -> str:
+    """Render a comparison table over a ``run_algorithms`` result."""
+    headers = ["method", "rounds", "final acc", "best acc", "MB/round/client",
+               "total GB"]
+    if target_accuracy is not None:
+        headers.insert(1, f"rounds->{target_accuracy:.0%}")
+    rows = []
+    for name, log in results.items():
+        row = [name, len(log["val_acc"]), log.meta["final_acc"],
+               log.meta["best_acc"], log.meta["per_round_per_client_mb"],
+               log.meta["total_gb"]]
+        if target_accuracy is not None:
+            hit = rounds_to_target(log["val_acc"], target_accuracy)
+            row.insert(1, hit if hit is not None else "-")
+        rows.append(row)
+    return render_table(headers, rows)

@@ -1,0 +1,41 @@
+"""Federated learning framework: clients, server loop, baselines, accounting.
+
+Implements the experimental infrastructure of the paper's §V plus the four
+baselines it compares against:
+
+- :class:`FedAvg` (McMahan et al.) — weighted full-model averaging;
+- :class:`FedProx` (Li et al.) — proximal term on local updates;
+- :class:`FedNova` (Wang et al.) — normalized averaging of local progress;
+- :class:`Scaffold` (Karimireddy et al.) — full-model control variates.
+
+Every byte that crosses the (simulated) network passes through
+:mod:`repro.fl.comm`, so communication-cost tables are measured, not
+estimated.
+"""
+
+from repro.fl.comm import (CommLedger, payload_nbytes, serialize_state,
+                           deserialize_state, sparse_payload_nbytes,
+                           quantize_state, dequantize_state)
+from repro.fl.client import Client, make_federated_clients
+from repro.fl.base import FederatedAlgorithm, RoundResult, sample_clients
+from repro.fl.fedavg import FedAvg
+from repro.fl.fedprox import FedProx
+from repro.fl.fednova import FedNova
+from repro.fl.scaffold import Scaffold
+from repro.fl.topk import FedTopK
+
+ALGORITHMS = {
+    "fedavg": FedAvg,
+    "fedprox": FedProx,
+    "fednova": FedNova,
+    "scaffold": Scaffold,
+    "fedtopk": FedTopK,
+}
+
+__all__ = [
+    "CommLedger", "payload_nbytes", "serialize_state", "deserialize_state",
+    "sparse_payload_nbytes", "Client", "make_federated_clients",
+    "FederatedAlgorithm", "RoundResult", "sample_clients",
+    "FedAvg", "FedProx", "FedNova", "Scaffold", "FedTopK", "ALGORITHMS",
+    "quantize_state", "dequantize_state",
+]

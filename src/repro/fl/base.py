@@ -1,0 +1,183 @@
+"""Server round loop shared by every FL algorithm (baselines and SPATL).
+
+The loop follows the standard synchronous FL protocol of the paper's
+Figure 1: sample clients → download global state → local updates → upload →
+aggregate → evaluate.  Subclasses implement four hooks:
+
+- ``download_payload(client)`` — what the server sends (for accounting and
+  for the client's starting state);
+- ``local_update(client, round_idx)`` — run local training, return an
+  update object;
+- ``upload_payload(update)`` — what the client sends back (accounting);
+- ``aggregate(updates, round_idx)`` — fold uploads into the global state.
+
+Evaluation reports the **average local top-1 accuracy across all clients**
+(participating or not), matching §V-B: "we allocate each client a local
+non-IID training dataset and a validation dataset to evaluate the top-1
+accuracy ... among heterogeneous clients".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.fl.client import Client
+from repro.fl.comm import CommLedger, payload_nbytes
+from repro.models.split import SplitModel
+from repro.utils.logging import ExperimentLog
+from repro.utils.metrics import EarlyStopper
+from repro.utils.rng import spawn_rng
+
+
+def sample_clients(clients: Sequence[Client], sample_ratio: float, seed: int,
+                   round_idx: int) -> list[Client]:
+    """Uniformly sample ``ceil(ratio * n)`` distinct clients for a round."""
+    if not 0.0 < sample_ratio <= 1.0:
+        raise ValueError("sample_ratio must be in (0, 1]")
+    n = len(clients)
+    k = max(1, int(np.ceil(sample_ratio * n)))
+    rng = spawn_rng(seed, "sampling", round_idx)
+    chosen = rng.choice(n, size=k, replace=False)
+    return [clients[i] for i in sorted(chosen)]
+
+
+@dataclass
+class RoundResult:
+    """Metrics of one communication round."""
+
+    round_idx: int
+    avg_train_loss: float
+    avg_val_acc: float
+    n_participants: int
+    round_bytes: int
+
+
+class FederatedAlgorithm:
+    """Base class; see module docstring for the hook contract."""
+
+    name = "base"
+
+    def __init__(self, model_fn: Callable[[], SplitModel], clients: Sequence[Client],
+                 lr: float = 0.01, local_epochs: int | tuple[int, int] = 10,
+                 sample_ratio: float = 1.0,
+                 momentum: float = 0.9, weight_decay: float = 0.0,
+                 max_grad_norm: float | None = None, seed: int = 0):
+        self.model_fn = model_fn
+        self.clients = list(clients)
+        if not self.clients:
+            raise ValueError("need at least one client")
+        self.lr = lr
+        # System heterogeneity: a (lo, hi) range makes each client draw its
+        # own epoch count per round (slow devices do less work) — the
+        # objective-inconsistency regime FedNova targets.  An int keeps the
+        # paper's uniform "10 rounds locally".
+        if isinstance(local_epochs, tuple):
+            lo, hi = local_epochs
+            if not 1 <= lo <= hi:
+                raise ValueError(f"bad local_epochs range {local_epochs}")
+        self.local_epochs = local_epochs
+        self.sample_ratio = sample_ratio
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.max_grad_norm = max_grad_norm
+        self.seed = seed
+        self.global_model: SplitModel = model_fn()
+        self.ledger = CommLedger()
+        self.rounds_completed = 0
+
+    def epochs_for(self, client: Client, round_idx: int) -> int:
+        """Local epochs this client runs this round.
+
+        Uniform when ``local_epochs`` is an int; drawn per (client, round)
+        from the configured range when it is a tuple (system heterogeneity).
+        """
+        if isinstance(self.local_epochs, tuple):
+            lo, hi = self.local_epochs
+            rng = spawn_rng(self.seed, "epochs", round_idx, client.client_id)
+            return int(rng.integers(lo, hi + 1))
+        return int(self.local_epochs)
+
+    # ------------------------------------------------------------ hooks
+    def download_payload(self, client: Client) -> dict[str, np.ndarray]:
+        raise NotImplementedError
+
+    def local_update(self, client: Client, round_idx: int) -> Any:
+        raise NotImplementedError
+
+    def upload_payload(self, update: Any) -> dict[str, np.ndarray]:
+        raise NotImplementedError
+
+    def aggregate(self, updates: list[Any], round_idx: int) -> None:
+        raise NotImplementedError
+
+    def client_eval_model(self, client: Client):
+        """Model used to evaluate ``client`` (global by default)."""
+        return self.global_model
+
+    # ------------------------------------------------------------ loop
+    def run_round(self, round_idx: int) -> RoundResult:
+        selected = sample_clients(self.clients, self.sample_ratio, self.seed,
+                                  round_idx)
+        updates = []
+        losses = []
+        for client in selected:
+            down = self.download_payload(client)
+            self.ledger.record_down(round_idx, client.client_id,
+                                    payload_nbytes(down))
+            update = self.local_update(client, round_idx)
+            updates.append(update)
+            losses.append(update.get("train_loss", float("nan"))
+                          if isinstance(update, dict) else float("nan"))
+            up = self.upload_payload(update)
+            self.ledger.record_up(round_idx, client.client_id,
+                                  payload_nbytes(up))
+        self.aggregate(updates, round_idx)
+        self.rounds_completed = round_idx + 1
+        acc = self.evaluate_all()
+        return RoundResult(round_idx, float(np.nanmean(losses)), acc,
+                           len(selected), self.ledger.round_bytes(round_idx))
+
+    def evaluate_all(self) -> float:
+        """Average local validation top-1 accuracy across *all* clients."""
+        accs = []
+        for client in self.clients:
+            model = self.client_eval_model(client)
+            acc, _ = client.evaluate(model)
+            accs.append(acc)
+        return float(np.mean(accs))
+
+    def per_client_accuracy(self) -> list[float]:
+        """Per-client accuracies (the paper's local-accuracy figure)."""
+        return [client.evaluate(self.client_eval_model(client))[0]
+                for client in self.clients]
+
+    def run(self, rounds: int, target_accuracy: float | None = None,
+            patience: int | None = None, log: ExperimentLog | None = None,
+            verbose: bool = False) -> ExperimentLog:
+        """Run up to ``rounds`` rounds.
+
+        Stops early when ``target_accuracy`` is reached (Table I protocol)
+        or when the accuracy stream stops improving for ``patience`` rounds
+        (Table II "train to converge" protocol).
+        """
+        log = log or ExperimentLog(self.name, verbose=verbose)
+        stopper = EarlyStopper(patience=patience) if patience else None
+        for r in range(self.rounds_completed, self.rounds_completed + rounds):
+            result = self.run_round(r)
+            log.log(round=r, train_loss=result.avg_train_loss,
+                    val_acc=result.avg_val_acc,
+                    round_gb=result.round_bytes / 2 ** 30,
+                    total_gb=self.ledger.total_gb())
+            if target_accuracy is not None and result.avg_val_acc >= target_accuracy:
+                log.meta["reached_target_at"] = r + 1
+                break
+            if stopper is not None and stopper.update(result.avg_val_acc):
+                log.meta["converged_at"] = r + 1
+                break
+        log.meta.setdefault("rounds_run", self.rounds_completed)
+        log.meta["total_gb"] = self.ledger.total_gb()
+        log.meta["per_round_per_client_mb"] = self.ledger.per_round_per_client_mb()
+        return log

@@ -1,0 +1,166 @@
+"""Communication codec and byte-exact cost accounting.
+
+The paper's communication-cost results (Tables I & II, Eq. 13:
+``cost = sum over rounds of per-client payloads``) require counting what
+actually crosses the network.  This module provides:
+
+- a real binary wire format (``serialize_state``/``deserialize_state``) so
+  tests can prove payloads round-trip losslessly;
+- ``payload_nbytes`` — dense state-dict payload size, exactly the size of
+  the serialised form;
+- ``sparse_payload_nbytes`` — salient-selection payload size: selected
+  values + int32 filter indices + per-entry headers (the paper's
+  "parameter and corresponding parameter index ... negligible burdens");
+- :class:`CommLedger` — per-round, per-direction ledger the server loop
+  writes every transfer into.
+
+Wire format (little-endian): ``[u32 n_entries]`` then per entry
+``[u16 name_len][name utf-8][u8 dtype_code][u8 ndim][u32 dims...]
+[raw array bytes]``.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import defaultdict
+
+import numpy as np
+
+_DTYPES = [np.dtype(np.float32), np.dtype(np.float64), np.dtype(np.int32),
+           np.dtype(np.int64), np.dtype(np.uint8), np.dtype(bool),
+           np.dtype(np.float16)]
+_DTYPE_CODE = {dt: i for i, dt in enumerate(_DTYPES)}
+
+
+def serialize_state(state: dict[str, np.ndarray]) -> bytes:
+    """Encode a flat state dict to bytes (deterministic, key-ordered)."""
+    parts = [struct.pack("<I", len(state))]
+    for name in state:
+        arr = np.ascontiguousarray(state[name])
+        if arr.dtype not in _DTYPE_CODE:
+            raise TypeError(f"unsupported dtype {arr.dtype} for {name!r}")
+        raw_name = name.encode("utf-8")
+        parts.append(struct.pack("<H", len(raw_name)))
+        parts.append(raw_name)
+        parts.append(struct.pack("<BB", _DTYPE_CODE[arr.dtype], arr.ndim))
+        parts.append(struct.pack(f"<{arr.ndim}I", *arr.shape))
+        parts.append(arr.tobytes())
+    return b"".join(parts)
+
+
+def deserialize_state(payload: bytes) -> dict[str, np.ndarray]:
+    """Decode bytes produced by :func:`serialize_state`."""
+    out: dict[str, np.ndarray] = {}
+    off = 0
+    (n_entries,) = struct.unpack_from("<I", payload, off)
+    off += 4
+    for _ in range(n_entries):
+        (name_len,) = struct.unpack_from("<H", payload, off)
+        off += 2
+        name = payload[off:off + name_len].decode("utf-8")
+        off += name_len
+        code, ndim = struct.unpack_from("<BB", payload, off)
+        off += 2
+        shape = struct.unpack_from(f"<{ndim}I", payload, off)
+        off += 4 * ndim
+        dtype = _DTYPES[code]
+        nbytes = dtype.itemsize * int(np.prod(shape)) if ndim else dtype.itemsize
+        arr = np.frombuffer(payload[off:off + nbytes], dtype=dtype).reshape(shape)
+        off += nbytes
+        out[name] = arr.copy()
+    return out
+
+
+def _entry_overhead(name: str, ndim: int) -> int:
+    return 2 + len(name.encode("utf-8")) + 2 + 4 * ndim
+
+
+def payload_nbytes(state: dict[str, np.ndarray]) -> int:
+    """Exact wire size of a dense state dict (== len(serialize_state(state)))."""
+    total = 4
+    for name, arr in state.items():
+        arr = np.asarray(arr)
+        total += _entry_overhead(name, arr.ndim) + arr.nbytes
+    return total
+
+
+def sparse_payload_nbytes(selected: dict[str, tuple[np.ndarray, np.ndarray]]) -> int:
+    """Wire size of a salient payload: {layer: (int filter indices, values)}.
+
+    Indices travel as int32 (one per selected filter); values as their own
+    dtype.  Each layer contributes two entries (``<name>.idx``,
+    ``<name>.val``).
+    """
+    total = 4
+    for name, (indices, values) in selected.items():
+        indices = np.asarray(indices)
+        values = np.asarray(values)
+        total += _entry_overhead(name + ".idx", 1) + 4 * indices.size
+        total += _entry_overhead(name + ".val", values.ndim) + values.nbytes
+    return total
+
+
+def quantize_state(state: dict[str, np.ndarray],
+                   dtype=np.float16) -> dict[str, np.ndarray]:
+    """Cast floating tensors to a narrower wire dtype (lossy compression).
+
+    Halving payloads with fp16 is the simplest communication-compression
+    knob on top of salient selection; integer tensors (indices, counters)
+    pass through untouched.
+    """
+    out = {}
+    for name, arr in state.items():
+        arr = np.asarray(arr)
+        out[name] = arr.astype(dtype) if arr.dtype.kind == "f" else arr
+    return out
+
+
+def dequantize_state(state: dict[str, np.ndarray],
+                     dtype=np.float32) -> dict[str, np.ndarray]:
+    """Widen floating tensors back to the compute dtype after receipt."""
+    out = {}
+    for name, arr in state.items():
+        arr = np.asarray(arr)
+        out[name] = arr.astype(dtype) if arr.dtype.kind == "f" else arr
+    return out
+
+
+class CommLedger:
+    """Accumulates communicated bytes by round, client, and direction."""
+
+    def __init__(self):
+        self.uplink: dict[int, dict[int, int]] = defaultdict(dict)
+        self.downlink: dict[int, dict[int, int]] = defaultdict(dict)
+
+    def record_up(self, round_idx: int, client_id: int, nbytes: int) -> None:
+        self.uplink[round_idx][client_id] = \
+            self.uplink[round_idx].get(client_id, 0) + int(nbytes)
+
+    def record_down(self, round_idx: int, client_id: int, nbytes: int) -> None:
+        self.downlink[round_idx][client_id] = \
+            self.downlink[round_idx].get(client_id, 0) + int(nbytes)
+
+    def round_bytes(self, round_idx: int) -> int:
+        up = sum(self.uplink.get(round_idx, {}).values())
+        down = sum(self.downlink.get(round_idx, {}).values())
+        return up + down
+
+    def total_bytes(self, up_to_round: int | None = None) -> int:
+        rounds = set(self.uplink) | set(self.downlink)
+        if up_to_round is not None:
+            rounds = {r for r in rounds if r <= up_to_round}
+        return sum(self.round_bytes(r) for r in rounds)
+
+    def total_gb(self, up_to_round: int | None = None) -> float:
+        return self.total_bytes(up_to_round) / 2 ** 30
+
+    def per_round_per_client_mb(self) -> float:
+        """Mean per-client per-round payload (Tables' "Cost Round/Client")."""
+        total, n = 0, 0
+        for r in set(self.uplink) | set(self.downlink):
+            clients = set(self.uplink.get(r, {})) | set(self.downlink.get(r, {}))
+            for c in clients:
+                total += self.uplink.get(r, {}).get(c, 0)
+                total += self.downlink.get(r, {}).get(c, 0)
+                n += 1
+        return (total / n) / 2 ** 20 if n else 0.0

@@ -1,0 +1,45 @@
+"""FedAvg (McMahan et al., AISTATS 2017) — the cost benchmark of Table I."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fl.base import FederatedAlgorithm
+from repro.fl.client import Client
+from repro.fl.local import train_local, weighted_average_states
+
+
+class FedAvg(FederatedAlgorithm):
+    """Weighted full-model averaging.
+
+    Per-round, per-client traffic: one full model down, one full model up —
+    the 1x cost reference every other method's speed-up column is measured
+    against.
+    """
+
+    name = "fedavg"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._work = self.model_fn()
+
+    def download_payload(self, client: Client) -> dict[str, np.ndarray]:
+        return self.global_model.state_dict()
+
+    def local_update(self, client: Client, round_idx: int) -> dict:
+        self._work.load_state_dict(self.global_model.state_dict())
+        loss, steps, _ = train_local(self._work, client, round_idx,
+                                  epochs=self.epochs_for(client, round_idx), lr=self.lr,
+                                  momentum=self.momentum,
+                                  weight_decay=self.weight_decay,
+                                  max_grad_norm=self.max_grad_norm)
+        return {"state": self._work.state_dict(), "n": client.num_train,
+                "train_loss": loss, "steps": steps}
+
+    def upload_payload(self, update: dict) -> dict[str, np.ndarray]:
+        return update["state"]
+
+    def aggregate(self, updates: list[dict], round_idx: int) -> None:
+        avg = weighted_average_states([u["state"] for u in updates],
+                                      [u["n"] for u in updates])
+        self.global_model.load_state_dict(avg)

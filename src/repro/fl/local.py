@@ -1,0 +1,83 @@
+"""Local-training helpers shared by all FL algorithms."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.fl.client import Client
+from repro.optim import SGD
+from repro.tensor import Tensor, functional as F
+from repro.utils.metrics import RunningAverage
+
+
+def train_local(model, client: Client, round_idx: int, epochs: int, lr: float,
+                momentum: float = 0.9, weight_decay: float = 0.0,
+                max_grad_norm: float | None = None,
+                correction_hook: Callable | None = None,
+                param_filter: Callable[[str], bool] | None = None,
+                extra_loss: Callable | None = None) -> tuple[float, int]:
+    """Run ``epochs`` of SGD on the client's shard.
+
+    Parameters
+    ----------
+    correction_hook:
+        Per-step gradient correction ``(name, grad) -> grad`` — SCAFFOLD /
+        SPATL control variates plug in here (Eq. 9).
+    param_filter:
+        Restrict the optimizer to parameters whose dotted name passes the
+        predicate (used for predictor-only transfer updates, Eq. 4).
+    extra_loss:
+        Additional differentiable loss term given the model, added to the
+        cross-entropy (FedProx's proximal term plugs in here).
+
+    Returns ``(mean train loss, number of optimizer steps, optimizer)`` —
+    the optimizer is returned so algorithms that communicate local optimizer
+    state (FedNova's momentum variant) can read its buffers.
+    """
+    named = [(n, p) for n, p in model.named_parameters()
+             if param_filter is None or param_filter(n)]
+    opt = SGD(named, lr=lr, momentum=momentum, weight_decay=weight_decay,
+              max_grad_norm=max_grad_norm)
+    if correction_hook is not None:
+        opt.add_correction_hook(correction_hook)
+    loss_avg = RunningAverage()
+    steps = 0
+    model.train()
+    for epoch in range(epochs):
+        for xb, yb in client.train_loader(round_idx * 1000 + epoch):
+            logits = model(Tensor(xb))
+            loss = F.cross_entropy(logits, yb)
+            if extra_loss is not None:
+                loss = loss + extra_loss(model)
+            model.zero_grad()
+            loss.backward()
+            opt.step()
+            loss_avg.update(loss.item(), len(yb))
+            steps += 1
+    return loss_avg.value, steps, opt
+
+
+def weighted_average_states(states: list[dict[str, np.ndarray]],
+                            weights: list[float]) -> dict[str, np.ndarray]:
+    """Weighted mean of aligned state dicts (FedAvg aggregation).
+
+    Integer-typed entries (e.g. ``num_batches_tracked``) take the first
+    client's value rather than a meaningless average.
+    """
+    if len(states) != len(weights) or not states:
+        raise ValueError("states/weights mismatch or empty")
+    w = np.asarray(weights, dtype=np.float64)
+    w = w / w.sum()
+    out: dict[str, np.ndarray] = {}
+    for key in states[0]:
+        first = np.asarray(states[0][key])
+        if first.dtype.kind in "iu":
+            out[key] = first.copy()
+            continue
+        acc = np.zeros_like(first, dtype=np.float64)
+        for wi, state in zip(w, states):
+            acc += wi * np.asarray(state[key], dtype=np.float64)
+        out[key] = acc.astype(first.dtype)
+    return out

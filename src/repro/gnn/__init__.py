@@ -1,0 +1,12 @@
+"""Graph neural network components (GCN layers + graph encoder).
+
+The salient-parameter agent's policy network embeds the encoder's
+computational graph with this GNN (Eq. 5: ``g = GraphEncoder(s)``) before
+the MLP head projects node embeddings to per-layer sparsity ratios
+(Eq. 6).
+"""
+
+from repro.gnn.layers import GCNLayer
+from repro.gnn.encoder import GraphEncoder
+
+__all__ = ["GCNLayer", "GraphEncoder"]

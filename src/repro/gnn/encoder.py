@@ -1,0 +1,40 @@
+"""Multi-layer GNN producing node and graph embeddings."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.layers import GCNLayer
+from repro.nn.module import Module, ModuleList
+from repro.tensor.tensor import Tensor
+
+
+class GraphEncoder(Module):
+    """Stack of GCN layers; returns (node embeddings, mean-pooled graph embedding).
+
+    This is the topology-embedding component the paper's agent shares
+    across architectures: when the agent transfers from ResNet-56 to
+    ResNet-18 (Fig. 6), these weights are *frozen* and only the MLP heads
+    fine-tune.
+    """
+
+    def __init__(self, in_dim: int, hidden_dim: int = 32, n_layers: int = 2,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        if n_layers < 1:
+            raise ValueError("need at least one GCN layer")
+        layers = []
+        d = in_dim
+        for _ in range(n_layers):
+            layers.append(GCNLayer(d, hidden_dim, activation="tanh", rng=rng))
+            d = hidden_dim
+        self.layers = ModuleList(layers)
+        self.out_dim = hidden_dim
+
+    def forward(self, x: np.ndarray, a_hat: np.ndarray) -> tuple[Tensor, Tensor]:
+        h = Tensor(np.asarray(x, dtype=np.float32))
+        for layer in self.layers:
+            h = layer(h, a_hat)
+        graph_emb = h.mean(axis=0)
+        return h, graph_emb

@@ -1,0 +1,37 @@
+"""Graph convolution layers on the autograd engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Linear
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+
+class GCNLayer(Module):
+    """Kipf-Welling graph convolution: ``H' = act(Â H W)``.
+
+    The propagation matrix ``Â`` is a constant per forward call (the graph
+    topology is data, not a parameter), so it enters the autodiff graph as
+    a plain constant tensor.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, activation: str = "tanh",
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.lin = Linear(in_dim, out_dim, rng=rng)
+        if activation not in ("tanh", "relu", "none"):
+            raise ValueError(f"unknown activation {activation!r}")
+        self.activation = activation
+
+    def forward(self, h: Tensor, a_hat: np.ndarray) -> Tensor:
+        out = Tensor(np.asarray(a_hat, dtype=np.float32)) @ self.lin(h)
+        if self.activation == "tanh":
+            return out.tanh()
+        if self.activation == "relu":
+            return out.relu()
+        return out
+
+    def __repr__(self) -> str:
+        return f"GCNLayer({self.lin.in_features}->{self.lin.out_features}, {self.activation})"

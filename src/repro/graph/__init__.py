@@ -1,0 +1,18 @@
+"""Simplified computational-graph representation of encoders (§IV-B).
+
+The paper models the network as a computational graph whose nodes are
+hidden feature maps and whose edges are machine-learning-level operations
+("conv 3x3, ReLU, ..." rather than primitive adds/multiplies).  This
+package builds that graph from any registered encoder, exposes it both as
+a :class:`networkx.DiGraph` and as (features, adjacency) arrays for the
+GNN, and provides the analytic pruned-FLOPs model driven by the same node
+metadata.
+"""
+
+from repro.graph.compgraph import (GraphNode, CompGraph, build_graph,
+                                   to_networkx)
+from repro.graph.features import node_feature_matrix, normalized_adjacency, \
+    FEATURE_DIM
+
+__all__ = ["GraphNode", "CompGraph", "build_graph", "to_networkx",
+           "node_feature_matrix", "normalized_adjacency", "FEATURE_DIM"]

@@ -1,0 +1,63 @@
+"""Numeric node features + normalized adjacency for the GNN.
+
+Feature layout (FEATURE_DIM columns):
+
+0-3   one-hot node kind (input / conv / pool / gap)
+4     prunable flag
+5     log1p(out_channels) / 8
+6     kernel_size / 7
+7     stride / 2
+8     FLOPs share of the whole graph
+9     parameter share
+10    depth fraction (topological position)
+11    current keep fraction (1.0 dense; the RL environment overwrites this
+      column as pruning proceeds, making the state reflect selection so far)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.compgraph import CompGraph, NODE_KINDS
+
+FEATURE_DIM = 12
+
+
+def node_feature_matrix(graph: CompGraph,
+                        keep: dict[str, float] | None = None) -> np.ndarray:
+    """(n_nodes, FEATURE_DIM) float32 feature matrix."""
+    keep = keep or {}
+    n = graph.n_nodes
+    total_flops = max(graph.total_flops(), 1)
+    total_params = max(sum(node.params for node in graph.nodes), 1)
+    x = np.zeros((n, FEATURE_DIM), dtype=np.float32)
+    for i, node in enumerate(graph.nodes):
+        kind_idx = NODE_KINDS.index(node.kind) if node.kind in NODE_KINDS else 1
+        x[i, kind_idx] = 1.0
+        x[i, 4] = 1.0 if node.prunable else 0.0
+        x[i, 5] = np.log1p(node.out_channels) / 8.0
+        x[i, 6] = node.kernel_size / 7.0
+        x[i, 7] = node.stride / 2.0
+        x[i, 8] = node.flops / total_flops
+        x[i, 9] = node.params / total_params
+        x[i, 10] = i / max(n - 1, 1)
+        ctrl = node.out_ctrl
+        x[i, 11] = float(keep.get(ctrl, 1.0)) if ctrl else 1.0
+    return x
+
+
+def normalized_adjacency(graph: CompGraph) -> np.ndarray:
+    """Symmetric GCN propagation matrix ``D^-1/2 (A + A^T + I) D^-1/2``.
+
+    The graph is treated as undirected for message passing (information
+    should flow both down- and up-stream of the network), with self loops.
+    """
+    n = graph.n_nodes
+    a = np.zeros((n, n), dtype=np.float32)
+    for src, dst, _ in graph.edges:
+        a[src, dst] = 1.0
+        a[dst, src] = 1.0
+    a += np.eye(n, dtype=np.float32)
+    deg = a.sum(axis=1)
+    d_inv_sqrt = 1.0 / np.sqrt(np.maximum(deg, 1e-8))
+    return a * d_inv_sqrt[:, None] * d_inv_sqrt[None, :]

@@ -1,0 +1,23 @@
+"""Model zoo: the architectures the paper evaluates, encoder/predictor split.
+
+Every model is a :class:`~repro.models.split.SplitModel` whose ``encoder``
+is the federated (shared) part and whose ``predictor`` is the private local
+head (§IV-A).  ``build_model`` is the registry entry point; ``width_mult``
+and ``input_size`` let CPU-scaled experiment configs shrink compute while
+preserving architecture shape.
+"""
+
+from repro.models.split import SplitModel, EncoderBase
+from repro.models.vgg import VGGEncoder, make_vgg11, make_vgg
+from repro.models.resnet import ResNetEncoder, make_resnet20, make_resnet32, \
+    make_resnet56, make_resnet18
+from repro.models.cnn import make_two_layer_cnn
+from repro.models.registry import build_model, MODEL_REGISTRY, paper_model_size_mb
+
+__all__ = [
+    "SplitModel", "EncoderBase",
+    "VGGEncoder", "make_vgg11", "make_vgg",
+    "ResNetEncoder", "make_resnet20", "make_resnet32", "make_resnet56",
+    "make_resnet18", "make_two_layer_cnn",
+    "build_model", "MODEL_REGISTRY", "paper_model_size_mb",
+]

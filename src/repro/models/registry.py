@@ -1,0 +1,54 @@
+"""Model registry + paper-scale communication-size reference.
+
+``build_model`` is the single entry point experiment configs use.
+``paper_model_size_mb`` reports the *full-size* per-round encoder payload of
+each architecture under our codec — the "Cost Round/Client" column of
+Tables I and II is derived from it, independent of how much the training
+runs themselves are scaled down.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.models.cnn import make_two_layer_cnn
+from repro.models.resnet import (make_resnet18, make_resnet20, make_resnet32,
+                                 make_resnet56)
+from repro.models.split import SplitModel
+from repro.models.vgg import make_vgg11
+
+MODEL_REGISTRY: dict[str, Callable[..., SplitModel]] = {
+    "resnet20": make_resnet20,
+    "resnet32": make_resnet32,
+    "resnet56": make_resnet56,
+    "resnet18": make_resnet18,
+    "vgg11": make_vgg11,
+    "cnn2": make_two_layer_cnn,
+}
+
+
+def build_model(name: str, num_classes: int = 10, input_size: int = 32,
+                width_mult: float = 1.0, seed: int | None = None) -> SplitModel:
+    """Instantiate a registered architecture.
+
+    Raises ``KeyError`` with the known names when ``name`` is unknown.
+    """
+    try:
+        factory = MODEL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(MODEL_REGISTRY)}") from None
+    return factory(num_classes=num_classes, input_size=input_size,
+                   width_mult=width_mult, seed=seed)
+
+
+def paper_model_size_mb(name: str, num_classes: int = 10) -> float:
+    """Encoder payload (MB, float32) of the full-size architecture.
+
+    This is what one client uploads per round under plain FedAvg-style
+    communication of the shared part.
+    """
+    model = build_model(name, num_classes=num_classes, input_size=32,
+                        width_mult=1.0, seed=0)
+    n_params = model.num_encoder_parameters()
+    n_buffers = sum(b.size for _, b in model.encoder.named_buffers())
+    return 4.0 * (n_params + n_buffers) / 2 ** 20

@@ -1,0 +1,28 @@
+"""Neural-network layer library on the :mod:`repro.tensor` autograd engine.
+
+Provides the PyTorch-flavoured building blocks used by the model zoo:
+``Module``/``Parameter`` with named parameter traversal and state dicts,
+``Linear``, ``Conv2d`` (im2col), ``BatchNorm2d``, pooling, activations,
+``Dropout``, ``Sequential``, weight initialisers, and an analytic FLOPs
+counter used for the paper's inference-acceleration results (Table on
+FLOPs, §V-D).
+"""
+
+from repro.nn.module import Module, Parameter, Sequential, ModuleList
+from repro.nn.linear import Linear
+from repro.nn.conv import Conv2d
+from repro.nn.norm import BatchNorm2d, BatchNorm1d, LayerNorm
+from repro.nn.pooling import MaxPool2d, AvgPool2d, GlobalAvgPool2d
+from repro.nn.activation import ReLU, Tanh, Sigmoid, LeakyReLU
+from repro.nn.dropout import Dropout
+from repro.nn import init
+from repro.nn.flops import count_flops, count_params
+
+__all__ = [
+    "Module", "Parameter", "Sequential", "ModuleList",
+    "Linear", "Conv2d",
+    "BatchNorm2d", "BatchNorm1d", "LayerNorm",
+    "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d",
+    "ReLU", "Tanh", "Sigmoid", "LeakyReLU", "Dropout",
+    "init", "count_flops", "count_params",
+]

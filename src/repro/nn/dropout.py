@@ -1,0 +1,30 @@
+"""Dropout layer with its own seeded generator (deterministic experiments)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode.
+
+    A per-layer ``Generator`` keeps the mask stream reproducible and
+    independent of all other randomness in an experiment.
+    """
+
+    def __init__(self, p: float = 0.5, seed: int | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout p must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.rng, training=self.training)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

@@ -1,0 +1,138 @@
+"""Batch and layer normalisation.
+
+BatchNorm keeps running statistics as *buffers*; in the FL layer these are
+part of the communicated encoder state (as in the Non-IID benchmark's
+reference implementations), so they are registered buffers included in
+``state_dict``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor.tensor import Tensor
+
+
+class _BatchNorm(Module):
+    """Shared machinery for 1-D/2-D batch norm; subclass fixes reduce axes."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1,
+                 affine: bool = True):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.affine = affine
+        if affine:
+            self.weight = Parameter(np.ones(num_features, dtype=np.float32))
+            self.bias = Parameter(np.zeros(num_features, dtype=np.float32))
+        else:
+            self.weight = None
+            self.bias = None
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+        self.register_buffer("num_batches_tracked", np.zeros((), dtype=np.int64))
+
+    def _axes(self, x: Tensor) -> tuple[int, ...]:
+        raise NotImplementedError
+
+    def _shape(self, x: Tensor) -> tuple[int, ...]:
+        raise NotImplementedError
+
+    def forward(self, x: Tensor) -> Tensor:
+        axes = self._axes(x)
+        shape = self._shape(x)
+        a = x
+        if self.training:
+            mean = x.data.mean(axis=axes)
+            var = x.data.var(axis=axes)
+            n = x.data.size / self.num_features
+            # unbiased running var, biased batch var for normalisation
+            unbiased = var * n / max(n - 1, 1)
+            m = self.momentum
+            self.set_buffer("running_mean",
+                            (1 - m) * self.running_mean + m * mean.astype(np.float32))
+            self.set_buffer("running_var",
+                            (1 - m) * self.running_var + m * unbiased.astype(np.float32))
+            self.set_buffer("num_batches_tracked", self.num_batches_tracked + 1)
+        else:
+            mean = self.running_mean
+            var = self.running_var
+
+        mu = mean.reshape(shape)
+        inv_std = 1.0 / np.sqrt(var.reshape(shape) + self.eps)
+        xhat = (x.data - mu) * inv_std
+
+        if self.affine:
+            w = self.weight
+            b = self.bias
+            out_data = xhat * w.data.reshape(shape) + b.data.reshape(shape)
+        else:
+            w = b = None
+            out_data = xhat
+
+        training = self.training
+        nred = x.data.size / self.num_features
+
+        def backward(g):
+            if b is not None and b.requires_grad:
+                b._accumulate(g.sum(axis=axes))
+            if w is not None and w.requires_grad:
+                w._accumulate((g * xhat).sum(axis=axes))
+            if a.requires_grad:
+                gx = g * (w.data.reshape(shape) if w is not None else 1.0)
+                if training:
+                    # full batch-norm backward (mean/var depend on x)
+                    gsum = gx.sum(axis=axes, keepdims=True)
+                    gxhat_sum = (gx * xhat).sum(axis=axes, keepdims=True)
+                    da = (gx - gsum / nred - xhat * gxhat_sum / nred) * inv_std
+                else:
+                    da = gx * inv_std
+                a._accumulate(da.astype(x.dtype, copy=False))
+
+        parents = (a,) if w is None else (a, w, b)
+        return Tensor._make(out_data.astype(x.dtype, copy=False), parents, backward)
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}({self.num_features})"
+
+
+class BatchNorm2d(_BatchNorm):
+    """Batch norm over (N, H, W) for inputs of shape (N, C, H, W)."""
+
+    def _axes(self, x):
+        return (0, 2, 3)
+
+    def _shape(self, x):
+        return (1, self.num_features, 1, 1)
+
+
+class BatchNorm1d(_BatchNorm):
+    """Batch norm over N for inputs of shape (N, C)."""
+
+    def _axes(self, x):
+        return (0,)
+
+    def _shape(self, x):
+        return (1, self.num_features)
+
+
+class LayerNorm(Module):
+    """Layer norm over the last dimension (used by the GNN node encoder)."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.weight = Parameter(np.ones(dim, dtype=np.float32))
+        self.bias = Parameter(np.zeros(dim, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        xhat = (x - mu) / ((var + self.eps) ** 0.5)
+        return xhat * self.weight + self.bias
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.dim})"

@@ -1,0 +1,98 @@
+"""Spatial pooling layers (max / average / global average)."""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+
+def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:
+    """Max pooling with square window; stride defaults to the window size."""
+    k = kernel_size
+    s = stride or k
+    n, c, h, w = x.shape
+    ho = (h - k) // s + 1
+    wo = (w - k) // s + 1
+    windows = sliding_window_view(x.data, (k, k), axis=(2, 3))[:, :, ::s, ::s]
+    # (N, C, Ho, Wo, k, k)
+    flat = windows.reshape(n, c, ho, wo, k * k)
+    arg = flat.argmax(axis=-1)
+    out_data = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+    out_data = np.ascontiguousarray(out_data)
+    a = x
+
+    def backward(g):
+        dx = np.zeros_like(a.data)
+        ki, kj = np.divmod(arg, k)
+        nn_, cc, ii, jj = np.indices((n, c, ho, wo), sparse=False)
+        rows = ii * s + ki
+        cols = jj * s + kj
+        np.add.at(dx, (nn_, cc, rows, cols), g)
+        a._accumulate(dx)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:
+    """Average pooling with square window; stride defaults to window size."""
+    k = kernel_size
+    s = stride or k
+    n, c, h, w = x.shape
+    ho = (h - k) // s + 1
+    wo = (w - k) // s + 1
+    windows = sliding_window_view(x.data, (k, k), axis=(2, 3))[:, :, ::s, ::s]
+    out_data = np.ascontiguousarray(windows.mean(axis=(-1, -2)))
+    a = x
+
+    def backward(g):
+        dx = np.zeros_like(a.data)
+        gk = g / (k * k)
+        for i in range(k):
+            for j in range(k):
+                dx[:, :, i:i + s * ho:s, j:j + s * wo:s] += gk
+        a._accumulate(dx)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+class MaxPool2d(Module):
+    """Max-pool layer wrapper."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return max_pool2d(x, self.kernel_size, self.stride)
+
+    def __repr__(self) -> str:
+        return f"MaxPool2d(k={self.kernel_size}, s={self.stride})"
+
+
+class AvgPool2d(Module):
+    """Average-pool layer wrapper."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return avg_pool2d(x, self.kernel_size, self.stride)
+
+    def __repr__(self) -> str:
+        return f"AvgPool2d(k={self.kernel_size}, s={self.stride})"
+
+
+class GlobalAvgPool2d(Module):
+    """Mean over all spatial positions: (N, C, H, W) -> (N, C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=(2, 3))
+
+    def __repr__(self) -> str:
+        return "GlobalAvgPool2d()"

@@ -1,0 +1,13 @@
+"""Optimizers and LR schedules for the autograd engine.
+
+``SGD`` supports a per-step gradient *correction hook* — the mechanism used
+by SCAFFOLD and SPATL's gradient-controlled federated learning to inject the
+control-variate term ``(c - c_i)`` into every local step (Eq. 9 of the
+paper) without subclassing the optimizer.
+"""
+
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.lr_scheduler import StepLR, CosineAnnealingLR, ConstantLR
+
+__all__ = ["SGD", "Adam", "StepLR", "CosineAnnealingLR", "ConstantLR"]

@@ -1,0 +1,71 @@
+"""Adam optimizer (used for the PPO salient-parameter agent, §V-A)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Adam:
+    """Adam with bias correction.
+
+    The paper fine-tunes the RL agent with Adam (lr=1e-3); the ``freeze``
+    set supports its "only update the MLP output layers" rule by name
+    prefix.
+    """
+
+    def __init__(self, named_params: Iterable[tuple[str, Parameter]], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        self.params: list[tuple[str, Parameter]] = [(n, p) for n, p in named_params]
+        if not self.params:
+            raise ValueError("Adam received no parameters")
+        self.lr = float(lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._t = 0
+        self._frozen: set[str] = set()
+
+    def freeze(self, prefixes: Iterable[str]) -> None:
+        """Skip updates for parameters whose name starts with any prefix."""
+        prefixes = tuple(prefixes)
+        for name, _ in self.params:
+            if name.startswith(prefixes):
+                self._frozen.add(name)
+
+    def unfreeze_all(self) -> None:
+        self._frozen.clear()
+
+    def zero_grad(self) -> None:
+        for _, p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        self._t += 1
+        b1t = 1.0 - self.beta1 ** self._t
+        b2t = 1.0 - self.beta2 ** self._t
+        for name, p in self.params:
+            if p.grad is None or name in self._frozen:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m = self._m.get(name)
+            if m is None:
+                m = np.zeros_like(p.data)
+                v = np.zeros_like(p.data)
+                self._m[name] = m
+                self._v[name] = v
+            else:
+                v = self._v[name]
+            m *= self.beta1
+            m += (1 - self.beta1) * g
+            v *= self.beta2
+            v += (1 - self.beta2) * (g * g)
+            p.data -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)

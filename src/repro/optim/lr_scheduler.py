@@ -1,0 +1,61 @@
+"""Learning-rate schedules operating on optimizers with an ``lr`` attribute."""
+
+from __future__ import annotations
+
+import math
+
+
+class _Scheduler:
+    def __init__(self, optimizer, base_lr: float | None = None):
+        self.optimizer = optimizer
+        self.base_lr = float(base_lr if base_lr is not None else optimizer.lr)
+        self.epoch = 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new LR to the optimizer."""
+        self.epoch += 1
+        lr = self.get_lr()
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantLR(_Scheduler):
+    """No-op schedule (keeps API uniform across experiment configs)."""
+
+    def get_lr(self) -> float:
+        return self.base_lr
+
+
+class StepLR(_Scheduler):
+    """Multiply LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer, step_size: int, gamma: float = 0.1,
+                 base_lr: float | None = None):
+        super().__init__(optimizer, base_lr)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class CosineAnnealingLR(_Scheduler):
+    """Cosine decay from base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer, t_max: int, eta_min: float = 0.0,
+                 base_lr: float | None = None):
+        super().__init__(optimizer, base_lr)
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        t = min(self.epoch, self.t_max)
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1 + math.cos(math.pi * t / self.t_max))

@@ -1,0 +1,25 @@
+"""Salient-parameter selection machinery and pruning baselines.
+
+Maps per-layer sparsity ratios (the RL agent's action) to concrete filter
+selections: boolean channel masks for masked execution, kept-filter index
+sets for the sparse FL uplink, and the analytic FLOPs of the resulting
+sub-network.  Also implements the classical pruning baselines the paper
+compares its agent against in Table IV (SFP, FPGM, a DSA-style allocator,
+magnitude and random selection).
+"""
+
+from repro.pruning.saliency import (filter_saliency, l1_saliency, l2_saliency,
+                                    geometric_median_saliency)
+from repro.pruning.selector import (SalientSelection, select_salient,
+                                    selection_from_sparsity, dense_selection)
+from repro.pruning.baselines import (prune_sfp, prune_fpgm, prune_magnitude,
+                                     prune_random, prune_dsa, PruneResult)
+
+__all__ = [
+    "filter_saliency", "l1_saliency", "l2_saliency",
+    "geometric_median_saliency",
+    "SalientSelection", "select_salient", "selection_from_sparsity",
+    "dense_selection",
+    "prune_sfp", "prune_fpgm", "prune_magnitude", "prune_random", "prune_dsa",
+    "PruneResult",
+]

@@ -1,0 +1,59 @@
+"""Per-filter saliency criteria.
+
+Given a conv weight ``(out_c, in_c, k, k)``, each criterion scores every
+output filter; higher = more salient.  ``l1``/``l2`` are the norm criteria
+of SFP; ``geometric_median`` is FPGM's redundancy criterion (filters close
+to the geometric median of all filters are redundant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def l1_saliency(weight: np.ndarray) -> np.ndarray:
+    """Sum of absolute weights per output filter."""
+    w = np.asarray(weight)
+    return np.abs(w).reshape(w.shape[0], -1).sum(axis=1)
+
+
+def l2_saliency(weight: np.ndarray) -> np.ndarray:
+    """Euclidean norm per output filter."""
+    w = np.asarray(weight)
+    return np.sqrt((w.reshape(w.shape[0], -1) ** 2).sum(axis=1))
+
+
+def geometric_median_saliency(weight: np.ndarray, iters: int = 20) -> np.ndarray:
+    """Distance of each filter to the geometric median of all filters (FPGM).
+
+    The median is computed with Weiszfeld's algorithm; filters *near* the
+    median are the replaceable ones, so distance = saliency.
+    """
+    w = np.asarray(weight, dtype=np.float64).reshape(weight.shape[0], -1)
+    median = w.mean(axis=0)
+    for _ in range(iters):
+        dist = np.linalg.norm(w - median, axis=1)
+        inv = 1.0 / np.maximum(dist, 1e-8)
+        new = (w * inv[:, None]).sum(axis=0) / inv.sum()
+        if np.linalg.norm(new - median) < 1e-10:
+            median = new
+            break
+        median = new
+    return np.linalg.norm(w - median, axis=1)
+
+
+_CRITERIA = {
+    "l1": l1_saliency,
+    "l2": l2_saliency,
+    "geometric_median": geometric_median_saliency,
+}
+
+
+def filter_saliency(weight: np.ndarray, criterion: str = "l2") -> np.ndarray:
+    """Dispatch on criterion name; raises on unknown criteria."""
+    try:
+        fn = _CRITERIA[criterion]
+    except KeyError:
+        raise KeyError(f"unknown saliency criterion {criterion!r}; "
+                       f"known: {sorted(_CRITERIA)}") from None
+    return fn(weight)

@@ -1,0 +1,17 @@
+"""Reinforcement-learning stack for the salient parameter selection agent.
+
+Implements §IV-B of the paper: a GNN+MLP actor-critic trained with PPO
+(Eq. 8) on the network-pruning task, where states are computational graphs,
+actions are per-layer sparsity ratios (Eq. 5-6), and the reward is the
+selected sub-network's validation accuracy (Eq. 7).
+"""
+
+from repro.rl.policy import ActorCriticPolicy, GraphState
+from repro.rl.buffer import RolloutBuffer, Transition
+from repro.rl.ppo import PPOConfig, ppo_update
+from repro.rl.env import PruningEnv
+from repro.rl.agent import SalientParameterAgent, pretrain_agent
+
+__all__ = ["ActorCriticPolicy", "GraphState", "RolloutBuffer", "Transition",
+           "PPOConfig", "ppo_update", "PruningEnv", "SalientParameterAgent",
+           "pretrain_agent"]

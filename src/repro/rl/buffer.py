@@ -1,0 +1,76 @@
+"""Rollout storage with generalized advantage estimation (GAE)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rl.policy import GraphState
+
+
+@dataclass
+class Transition:
+    """One environment step."""
+
+    state: GraphState
+    action: np.ndarray
+    log_prob: float
+    value: float
+    reward: float
+    done: bool
+
+
+@dataclass
+class RolloutBuffer:
+    """Collects transitions across episodes, then computes GAE targets.
+
+    Graph states are variable-sized, so transitions are stored as objects
+    rather than stacked arrays; PPO evaluates them one graph at a time
+    (graphs here are tiny — tens of nodes).
+    """
+
+    gamma: float = 0.99
+    gae_lambda: float = 0.95
+    transitions: list[Transition] = field(default_factory=list)
+    advantages: np.ndarray | None = None
+    returns: np.ndarray | None = None
+
+    def add(self, transition: Transition) -> None:
+        self.transitions.append(transition)
+
+    def __len__(self) -> int:
+        return len(self.transitions)
+
+    def clear(self) -> None:
+        self.transitions.clear()
+        self.advantages = None
+        self.returns = None
+
+    def compute_gae(self, last_value: float = 0.0) -> None:
+        """Backward GAE pass; episode boundaries reset the accumulator."""
+        n = len(self.transitions)
+        adv = np.zeros(n, dtype=np.float64)
+        gae = 0.0
+        next_value = last_value
+        for t in reversed(range(n)):
+            tr = self.transitions[t]
+            nonterminal = 0.0 if tr.done else 1.0
+            delta = tr.reward + self.gamma * next_value * nonterminal - tr.value
+            gae = delta + self.gamma * self.gae_lambda * nonterminal * gae
+            adv[t] = gae
+            next_value = tr.value
+        values = np.asarray([tr.value for tr in self.transitions])
+        self.advantages = adv
+        self.returns = adv + values
+
+    def normalized_advantages(self) -> np.ndarray:
+        if self.advantages is None:
+            raise RuntimeError("call compute_gae first")
+        a = self.advantages
+        return (a - a.mean()) / (a.std() + 1e-8)
+
+    def minibatch_indices(self, batch_size: int,
+                          rng: np.random.Generator) -> list[np.ndarray]:
+        order = rng.permutation(len(self.transitions))
+        return [order[lo:lo + batch_size] for lo in range(0, len(order), batch_size)]

@@ -1,0 +1,118 @@
+"""GNN + MLP actor-critic policy over computational-graph states.
+
+Actor (Eq. 5-6): GCN layers embed the graph; a node-wise MLP projects each
+*prunable* node's embedding to the raw mean of a Gaussian over that layer's
+sparsity ratio.  Because actions are emitted per prunable node, the same
+policy transfers across architectures with different layer counts
+(ResNet-56 → ResNet-18, Fig. 6).
+
+Critic: an MLP on the mean-pooled graph embedding estimates the state
+value.
+
+Actions are raw Gaussians; the environment clips them into the valid
+sparsity interval ``[0, s_max]`` (log-probabilities are computed on the raw
+values, the standard practice for clipped continuous control).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gnn import GraphEncoder
+from repro.nn import Linear, Sequential, Tanh
+from repro.nn.module import Module, Parameter
+from repro.tensor import no_grad
+from repro.tensor.tensor import Tensor
+
+LOG_2PI = math.log(2.0 * math.pi)
+
+
+@dataclass
+class GraphState:
+    """One RL state: node features, propagation matrix, prunable node ids."""
+
+    x: np.ndarray           # (n_nodes, FEATURE_DIM)
+    a_hat: np.ndarray       # (n_nodes, n_nodes)
+    prunable_idx: np.ndarray  # (n_actions,) indices into nodes
+
+    @property
+    def n_actions(self) -> int:
+        return len(self.prunable_idx)
+
+
+class ActorCriticPolicy(Module):
+    """See module docstring.  ``log_std`` is a learned, state-independent
+    scalar (paper: "the standard deviation of actions is [fixed small]")."""
+
+    def __init__(self, feature_dim: int, hidden_dim: int = 32,
+                 init_std: float = 0.25, seed: int | None = None):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.gnn = GraphEncoder(feature_dim, hidden_dim, n_layers=2, rng=rng)
+        self.actor_head = Sequential(
+            Linear(hidden_dim, hidden_dim, rng=rng), Tanh(),
+            Linear(hidden_dim, 1, rng=rng))
+        self.critic_head = Sequential(
+            Linear(hidden_dim, hidden_dim, rng=rng), Tanh(),
+            Linear(hidden_dim, 1, rng=rng))
+        self.log_std = Parameter(np.asarray([math.log(init_std)], dtype=np.float32))
+
+    # ------------------------------------------------------------------ #
+    def forward(self, state: GraphState) -> tuple[Tensor, Tensor]:
+        """(raw action means over prunable nodes, state value)."""
+        node_emb, graph_emb = self.gnn(state.x, state.a_hat)
+        prunable = node_emb[np.asarray(state.prunable_idx)]
+        mu = self.actor_head(prunable).reshape(-1)
+        value = self.critic_head(graph_emb.reshape(1, -1)).reshape(())
+        return mu, value
+
+    def _log_prob(self, mu: Tensor, actions: np.ndarray) -> Tensor:
+        """Sum of per-dimension Gaussian log-probs of raw ``actions``."""
+        a = Tensor(np.asarray(actions, dtype=np.float32))
+        std = self.log_std.exp()
+        z = (a - mu) / std
+        per_dim = -0.5 * (z * z) - self.log_std - 0.5 * LOG_2PI
+        return per_dim.sum()
+
+    def entropy(self) -> Tensor:
+        """Differential entropy per action dimension."""
+        return self.log_std + 0.5 * (1.0 + LOG_2PI)
+
+    # ------------------------------------------------------------------ #
+    def act(self, state: GraphState, rng: np.random.Generator,
+            deterministic: bool = False) -> tuple[np.ndarray, float, float]:
+        """Sample (raw action, log-prob, value) without building a graph."""
+        with no_grad():
+            mu, value = self.forward(state)
+            std = float(np.exp(self.log_std.data[0]))
+            mu_np = mu.data.astype(np.float64)
+            if deterministic:
+                action = mu_np
+                logp = 0.0
+            else:
+                action = mu_np + std * rng.standard_normal(mu_np.shape)
+                z = (action - mu_np) / std
+                logp = float(np.sum(-0.5 * z * z - np.log(std) - 0.5 * LOG_2PI))
+            return action, logp, float(value.data)
+
+    def evaluate_actions(self, state: GraphState,
+                         actions: np.ndarray) -> tuple[Tensor, Tensor, Tensor]:
+        """Differentiable (log-prob, value, entropy) for a PPO update."""
+        mu, value = self.forward(state)
+        logp = self._log_prob(mu, actions)
+        return logp, value, self.entropy()
+
+    # ------------------------------------------------------------------ #
+    def head_parameter_names(self) -> list[str]:
+        """Names of MLP-head parameters — the only ones updated during
+        online fine-tuning on clients (§V-A: "We only update the MLP's
+        parameter when fine-tuning")."""
+        return [n for n, _ in self.named_parameters()
+                if n.startswith(("actor_head.", "critic_head.", "log_std"))]
+
+    def memory_bytes(self) -> int:
+        """Total parameter bytes — the paper quotes ~26 KB for its agent."""
+        return sum(p.data.nbytes for p in self.parameters())

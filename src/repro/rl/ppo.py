@@ -1,0 +1,111 @@
+"""Proximal policy optimization update (Eq. 8 of the paper).
+
+Clipped-surrogate objective with value loss and entropy bonus:
+
+    L = E_t[ min(r_t A_t, clip(r_t, 1-eps, 1+eps) A_t) ]
+        - c_v * (V(s_t) - R_t)^2 + c_e * H[pi]
+
+with ``r_t = pi_theta(a_t|s_t) / pi_theta_old(a_t|s_t)``.  Hyper-parameter
+defaults follow §V-A: clip 0.2, discount 0.99, Adam lr 1e-3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.optim import Adam
+from repro.rl.buffer import RolloutBuffer
+from repro.rl.policy import ActorCriticPolicy
+
+
+@dataclass
+class PPOConfig:
+    """PPO hyper-parameters (paper defaults, §V-A).
+
+    ``value_clip_eps`` bounds the value-function update around the rollout
+    estimate (PPO2-style); ``target_kl`` stops an update epoch early when
+    the mean approximate KL to the behaviour policy exceeds it — both
+    standard stabilisers for small-rollout regimes like per-client
+    fine-tuning.  Either can be disabled by setting it to ``None``.
+    """
+
+    clip_eps: float = 0.2
+    gamma: float = 0.99
+    gae_lambda: float = 0.95
+    lr: float = 1e-3
+    update_epochs: int = 4
+    minibatch_size: int = 16
+    value_coef: float = 0.5
+    entropy_coef: float = 1e-3
+    max_updates_per_round: int = 1
+    value_clip_eps: float | None = 0.2
+    target_kl: float | None = 0.05
+
+
+def ppo_update(policy: ActorCriticPolicy, buffer: RolloutBuffer,
+               optimizer: Adam, config: PPOConfig,
+               rng: np.random.Generator) -> dict[str, float]:
+    """Run ``update_epochs`` of clipped-surrogate minibatch updates.
+
+    Returns mean diagnostics (policy loss, value loss, approx KL).
+    """
+    if len(buffer) == 0:
+        return {"policy_loss": 0.0, "value_loss": 0.0, "approx_kl": 0.0}
+    buffer.compute_gae()
+    adv = buffer.normalized_advantages()
+    returns = buffer.returns
+    diag = {"policy_loss": [], "value_loss": [], "approx_kl": []}
+    stop = False
+    for _ in range(config.update_epochs):
+        if stop:
+            break
+        for idx in buffer.minibatch_indices(config.minibatch_size, rng):
+            policy_terms = []
+            value_terms = []
+            kl_terms = []
+            for i in idx:
+                tr = buffer.transitions[i]
+                logp, value, entropy = policy.evaluate_actions(tr.state, tr.action)
+                ratio = (logp - tr.log_prob).exp()
+                a_i = float(adv[i])
+                unclipped = ratio * a_i
+                clipped = ratio.clip(1.0 - config.clip_eps, 1.0 + config.clip_eps) * a_i
+                # min() of the two branches: pick by value, backprop the pick
+                surrogate = unclipped if unclipped.item() <= clipped.item() else clipped
+                v_err = value - float(returns[i])
+                if config.value_clip_eps is not None:
+                    # PPO2 value clipping: bound the update around the
+                    # rollout-time value estimate, take the worse loss
+                    v_clipped = value.clip(tr.value - config.value_clip_eps,
+                                           tr.value + config.value_clip_eps) \
+                        - float(returns[i])
+                    v_loss = (v_err * v_err
+                              if (v_err * v_err).item()
+                              >= (v_clipped * v_clipped).item()
+                              else v_clipped * v_clipped)
+                else:
+                    v_loss = v_err * v_err
+                policy_terms.append(-surrogate - config.entropy_coef * entropy.sum())
+                value_terms.append(v_loss)
+                kl_terms.append(tr.log_prob - logp.item())
+            n = len(idx)
+            loss = policy_terms[0]
+            for term in policy_terms[1:]:
+                loss = loss + term
+            vloss = value_terms[0]
+            for term in value_terms[1:]:
+                vloss = vloss + term
+            total = loss * (1.0 / n) + vloss * (config.value_coef / n)
+            optimizer.zero_grad()
+            total.backward()
+            optimizer.step()
+            diag["policy_loss"].append(loss.item() / n)
+            diag["value_loss"].append(vloss.item() / n)
+            batch_kl = float(np.mean(kl_terms))
+            diag["approx_kl"].append(batch_kl)
+            if config.target_kl is not None and batch_kl > config.target_kl:
+                stop = True
+                break
+    return {k: float(np.mean(v)) for k, v in diag.items()}

@@ -1,0 +1,20 @@
+"""Reverse-mode automatic differentiation engine on NumPy arrays.
+
+This package is the lowest substrate of the SPATL reproduction: a small,
+fully tested autograd system in the style of PyTorch's eager mode.  Every
+neural-network layer, optimizer, GNN, and PPO policy in the repository is
+built on :class:`~repro.tensor.tensor.Tensor`.
+
+The public surface:
+
+- :class:`Tensor` — n-d array with gradient tracking.
+- :func:`tensor` — construction helper.
+- ``no_grad`` — context manager disabling graph construction.
+- the functional ops in :mod:`repro.tensor.functional` (``relu``,
+  ``softmax``, ``cross_entropy``, ...).
+"""
+
+from repro.tensor.tensor import Tensor, tensor, no_grad, is_grad_enabled
+from repro.tensor import functional
+
+__all__ = ["Tensor", "tensor", "no_grad", "is_grad_enabled", "functional"]

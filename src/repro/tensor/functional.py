@@ -1,0 +1,181 @@
+"""Differentiable functional operations built on :class:`repro.tensor.Tensor`.
+
+These are the loss functions and nonlinearities used by the NN layers, the
+PPO policy, and the FL training loops.  Numerically sensitive reductions
+(softmax, log-sum-exp) are implemented with the usual max-subtraction
+stabilisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.relu()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return x.tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return x.sigmoid()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """LeakyReLU: x for x>0, slope*x otherwise."""
+    a = x
+    mask = x.data > 0
+    scale = np.where(mask, 1.0, negative_slope).astype(x.dtype)
+    out_data = x.data * scale
+
+    def backward(g):
+        a._accumulate(g * scale)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    a = x
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out_data = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(g):
+        # dL/dx = s * (g - sum(g * s))
+        dot = (g * out_data).sum(axis=axis, keepdims=True)
+        a._accumulate(out_data * (g - dot))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Stable log-softmax along ``axis``."""
+    a = x
+    m = x.data.max(axis=axis, keepdims=True)
+    shifted = x.data - m
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - lse
+    soft = np.exp(out_data)
+
+    def backward(g):
+        a._accumulate(g - soft * g.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float32) -> np.ndarray:
+    """Dense one-hot encoding of integer ``labels``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    out = np.zeros((labels.size, num_classes), dtype=dtype)
+    out[np.arange(labels.size), labels.ravel()] = 1.0
+    return out.reshape(labels.shape + (num_classes,))
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy between raw ``logits`` (N, C) and integer labels (N,).
+
+    Fused log-softmax + NLL with a single backward closure; this is the loss
+    used for every classification model in the reproduction (Eq. 3/4 of the
+    paper instantiate it as the local objective ``l_i``).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"cross_entropy expects (N, C) logits, got {logits.shape}")
+    n = logits.shape[0]
+    a = logits
+    m = logits.data.max(axis=1, keepdims=True)
+    shifted = logits.data - m
+    lse = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    logp = shifted - lse
+    loss = -logp[np.arange(n), labels].mean()
+    soft = np.exp(logp)
+
+    def backward(g):
+        grad = soft.copy()
+        grad[np.arange(n), labels] -= 1.0
+        grad *= float(g) / n
+        a._accumulate(grad)
+
+    return Tensor._make(np.asarray(loss, dtype=logits.dtype), (a,), backward)
+
+
+def nll_loss(logp: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood given log-probabilities (N, C)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    n = logp.shape[0]
+    picked = logp[np.arange(n), labels]
+    return -(picked.mean())
+
+
+def mse_loss(pred: Tensor, target) -> Tensor:
+    """Mean squared error; ``target`` may be a Tensor or array."""
+    t = target if isinstance(target, Tensor) else Tensor(np.asarray(target, dtype=pred.dtype))
+    diff = pred - t
+    return (diff * diff).mean()
+
+
+def smooth_l1_loss(pred: Tensor, target, beta: float = 1.0) -> Tensor:
+    """Huber-style smooth L1 loss (used by the PPO value head)."""
+    t = np.asarray(target.data if isinstance(target, Tensor) else target, dtype=pred.dtype)
+    a = pred
+    diff = pred.data - t
+    absd = np.abs(diff)
+    quad = absd < beta
+    out_data = np.where(quad, 0.5 * diff * diff / beta, absd - 0.5 * beta)
+    loss = out_data.mean()
+    n = diff.size
+
+    def backward(g):
+        grad = np.where(quad, diff / beta, np.sign(diff)) * (float(g) / n)
+        a._accumulate(grad.astype(pred.dtype, copy=False))
+
+    return Tensor._make(np.asarray(loss, dtype=pred.dtype), (a,), backward)
+
+
+def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Stable log-sum-exp along ``axis``."""
+    a = x
+    m = x.data.max(axis=axis, keepdims=True)
+    e = np.exp(x.data - m)
+    s = e.sum(axis=axis, keepdims=True)
+    out = np.log(s) + m
+    soft = e / s
+    if not keepdims:
+        out = np.squeeze(out, axis=axis)
+
+    def backward(g):
+        gg = g if keepdims else np.expand_dims(g, axis=axis)
+        a._accumulate(soft * gg)
+
+    return Tensor._make(out, (a,), backward)
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: zero with prob ``p`` and rescale by 1/(1-p)."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    a = x
+    keep = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+    out_data = x.data * keep
+
+    def backward(g):
+        a._accumulate(g * keep)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def accuracy(logits, labels: np.ndarray) -> float:
+    """Top-1 accuracy of ``logits`` (N, C) against integer labels."""
+    data = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    pred = data.argmax(axis=1)
+    return float((pred == np.asarray(labels)).mean())

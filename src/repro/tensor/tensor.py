@@ -1,0 +1,572 @@
+"""Core reverse-mode autodiff ``Tensor``.
+
+Design
+------
+Each :class:`Tensor` optionally records the operation that produced it as a
+closure ``_backward`` plus the list of parent tensors ``_parents``.  Calling
+:meth:`Tensor.backward` topologically sorts the DAG reachable from the output
+and accumulates gradients into ``.grad`` (a plain ``np.ndarray``) of every
+tensor with ``requires_grad=True``.
+
+Broadcasting follows NumPy semantics; gradients of broadcast operands are
+reduced back to the operand shape by :func:`unbroadcast`.
+
+All floating point data is kept in ``float32`` by default (matching the
+communication-cost accounting elsewhere in the repository, which assumes
+4-byte parameters), but ``float64`` tensors are supported and used by the
+gradient-checking tests.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+_DEFAULT_DTYPE = np.float32
+
+_grad_state = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations record the autodiff graph."""
+    return getattr(_grad_state, "enabled", True)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager: operations inside do not build the autodiff graph.
+
+    Used for inference, parameter updates inside optimizers, and the
+    communication codec (which must not retain graphs across FL rounds).
+    """
+    prev = is_grad_enabled()
+    _grad_state.enabled = False
+    try:
+        yield
+    finally:
+        _grad_state.enabled = prev
+
+
+def _as_array(data, dtype=None) -> np.ndarray:
+    if isinstance(data, Tensor):
+        data = data.data
+    arr = np.asarray(data)
+    if dtype is not None:
+        arr = arr.astype(dtype, copy=False)
+    elif arr.dtype == np.float64:
+        arr = arr.astype(_DEFAULT_DTYPE)
+    elif arr.dtype.kind not in "fiub":
+        raise TypeError(f"unsupported dtype for Tensor: {arr.dtype}")
+    return arr
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` (shape of a broadcast result) back to ``shape``.
+
+    Sums over the leading dimensions that were added by broadcasting and
+    over any axis where the original extent was 1.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum away prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum axes that were broadcast from extent 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """N-dimensional array with reverse-mode gradient tracking.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload.  Copied only if dtype conversion is required.
+    requires_grad:
+        If True, gradients are accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __array_priority__ = 100.0  # make np_scalar * Tensor dispatch to us
+
+    def __init__(self, data, requires_grad: bool = False, dtype=None):
+        self.data: np.ndarray = _as_array(data, dtype)
+        self.requires_grad: bool = bool(requires_grad) and is_grad_enabled()
+        self.grad: np.ndarray | None = None
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name: str | None = None
+
+    # ------------------------------------------------------------------ #
+    # basic properties                                                     #
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=8)}{grad_flag})"
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a view sharing data but cut from the autodiff graph."""
+        return Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad,
+                      dtype=self.data.dtype)
+
+    def astype(self, dtype) -> "Tensor":
+        return Tensor(self.data.astype(dtype), requires_grad=self.requires_grad,
+                      dtype=dtype)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # graph plumbing                                                       #
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _make(data: np.ndarray, parents: Sequence["Tensor"],
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        """Create a result tensor, attaching graph edges if grad is enabled."""
+        req = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=False, dtype=data.dtype)
+        out.requires_grad = req
+        if req:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if self.grad is None:
+            # Own the buffer: closures may hand us views of arrays they reuse.
+            self.grad = np.array(grad)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to the implicit seed of 1.0 (scalar outputs only).
+        Convention: every op's ``_backward`` closure receives the node's
+        fully-accumulated output gradient and calls ``parent._accumulate``
+        on each input.  ``backward()`` walks the DAG in reverse topological
+        order, so each node's gradient is complete before its closure runs.
+        """
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("backward() on non-scalar tensor requires an explicit gradient")
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            if grad.shape != self.shape:
+                raise ValueError(f"seed gradient shape {grad.shape} != tensor shape {self.shape}")
+
+        # Topological order via iterative DFS (recursion-free: deep graphs
+        # from many-layer models would overflow Python's stack).
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if id(p) not in visited and p.requires_grad:
+                    stack.append((p, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+                # Release graph edges and intermediate grads so large conv
+                # activations are collectible as soon as they are consumed.
+                if node is not self:
+                    node._backward = None
+                    node._parents = ()
+                    node.grad = None
+
+    # ------------------------------------------------------------------ #
+    # arithmetic                                                           #
+    # ------------------------------------------------------------------ #
+    def _coerce(self, other) -> "Tensor":
+        if isinstance(other, Tensor):
+            return other
+        return Tensor(np.asarray(other, dtype=self.data.dtype))
+
+    def __add__(self, other):
+        other = self._coerce(other)
+        out_data = self.data + other.data
+        a, b = self, other
+
+        def backward(g):
+            a._accumulate(unbroadcast(g, a.shape))
+            b._accumulate(unbroadcast(g, b.shape))
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        other = self._coerce(other)
+        out_data = self.data - other.data
+        a, b = self, other
+
+        def backward(g):
+            a._accumulate(unbroadcast(g, a.shape))
+            b._accumulate(unbroadcast(-g, b.shape))
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    def __rsub__(self, other):
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other):
+        other = self._coerce(other)
+        out_data = self.data * other.data
+        a, b = self, other
+
+        def backward(g):
+            a._accumulate(unbroadcast(g * b.data, a.shape))
+            b._accumulate(unbroadcast(g * a.data, b.shape))
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = self._coerce(other)
+        out_data = self.data / other.data
+        a, b = self, other
+
+        def backward(g):
+            a._accumulate(unbroadcast(g / b.data, a.shape))
+            b._accumulate(unbroadcast(-g * a.data / (b.data * b.data), b.shape))
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    def __rtruediv__(self, other):
+        return self._coerce(other).__truediv__(self)
+
+    def __neg__(self):
+        a = self
+
+        def backward(g):
+            a._accumulate(-g)
+
+        return Tensor._make(-self.data, (a,), backward)
+
+    def __pow__(self, exponent: float):
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        a = self
+        out_data = self.data ** exponent
+
+        def backward(g):
+            a._accumulate(g * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def __matmul__(self, other):
+        other = self._coerce(other)
+        a, b = self, other
+        out_data = a.data @ b.data
+
+        def backward(g):
+            ad, bd = a.data, b.data
+            if a.requires_grad:
+                if ad.ndim == 1 and bd.ndim == 1:          # (k,)@(k,) -> ()
+                    ga = g * bd
+                elif ad.ndim == 1:                          # (k,)@(...,k,n) -> (...,n)
+                    ga = (bd @ g[..., None])[..., 0] if bd.ndim > 2 else bd @ g
+                elif bd.ndim == 1:                          # (...,m,k)@(k,) -> (...,m)
+                    ga = g[..., None] * bd
+                else:                                       # batched mat-mat
+                    ga = g @ np.swapaxes(bd, -1, -2)
+                a._accumulate(unbroadcast(np.asarray(ga), a.shape))
+            if b.requires_grad:
+                if ad.ndim == 1 and bd.ndim == 1:
+                    gb = g * ad
+                elif ad.ndim == 1:                          # gb: (...,k,n)
+                    gb = ad[:, None] * g[..., None, :]
+                elif bd.ndim == 1:                          # gb: (k,)
+                    gb = np.tensordot(ad, g, axes=(tuple(range(ad.ndim - 1)),
+                                                   tuple(range(g.ndim))))
+                else:
+                    gb = np.swapaxes(ad, -1, -2) @ g
+                b._accumulate(unbroadcast(np.asarray(gb), b.shape))
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    # ------------------------------------------------------------------ #
+    # reductions                                                           #
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False):
+        a = self
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g):
+            g = np.asarray(g)
+            if axis is None:
+                grad = np.broadcast_to(g, a.shape)
+            else:
+                if not keepdims:
+                    g = np.expand_dims(g, axis=axis)
+                grad = np.broadcast_to(g, a.shape)
+            a._accumulate(grad.astype(a.dtype, copy=False))
+
+        return Tensor._make(np.asarray(out_data), (a,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        if axis is None:
+            n = self.size
+        elif isinstance(axis, tuple):
+            n = int(np.prod([self.shape[ax] for ax in axis]))
+        else:
+            n = self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / n)
+
+    def var(self, axis=None, keepdims: bool = False):
+        mu = self.mean(axis=axis, keepdims=True)
+        sq = (self - mu) * (self - mu)
+        return sq.mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False):
+        a = self
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g):
+            g_arr = np.asarray(g)
+            if axis is None:
+                mask = (a.data == a.data.max())
+                contrib = mask / mask.sum()
+                a._accumulate((g_arr * contrib).astype(a.dtype, copy=False))
+            else:
+                expanded = a.data.max(axis=axis, keepdims=True)
+                mask = (a.data == expanded)
+                counts = mask.sum(axis=axis, keepdims=True)
+                gg = g_arr if keepdims else np.expand_dims(g_arr, axis=axis)
+                a._accumulate((mask * gg / counts).astype(a.dtype, copy=False))
+
+        return Tensor._make(np.asarray(out_data), (a,), backward)
+
+    # ------------------------------------------------------------------ #
+    # shape ops                                                            #
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        a = self
+        out_data = self.data.reshape(shape)
+
+        def backward(g):
+            a._accumulate(g.reshape(a.shape))
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def flatten_from(self, start_dim: int = 1):
+        """Flatten dims from ``start_dim`` on (like ``torch.flatten``)."""
+        new_shape = self.shape[:start_dim] + (-1,)
+        return self.reshape(*new_shape)
+
+    def transpose(self, *axes):
+        a = self
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inv = np.argsort(axes)
+        out_data = self.data.transpose(axes)
+
+        def backward(g):
+            a._accumulate(g.transpose(inv))
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def __getitem__(self, idx):
+        a = self
+        out_data = self.data[idx]
+
+        def backward(g):
+            full = np.zeros_like(a.data)
+            np.add.at(full, idx, g)
+            a._accumulate(full)
+
+        return Tensor._make(np.asarray(out_data), (a,), backward)
+
+    def pad2d(self, pad: int):
+        """Zero-pad the last two (spatial) dims symmetrically by ``pad``."""
+        if pad == 0:
+            return self
+        a = self
+        width = [(0, 0)] * (self.ndim - 2) + [(pad, pad), (pad, pad)]
+        out_data = np.pad(self.data, width)
+
+        def backward(g):
+            sl = tuple([slice(None)] * (a.ndim - 2) + [slice(pad, -pad), slice(pad, -pad)])
+            a._accumulate(g[sl])
+
+        return Tensor._make(out_data, (a,), backward)
+
+    # ------------------------------------------------------------------ #
+    # elementwise nonlinearities                                           #
+    # ------------------------------------------------------------------ #
+    def exp(self):
+        a = self
+        out_data = np.exp(self.data)
+
+        def backward(g):
+            a._accumulate(g * out_data)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def log(self):
+        a = self
+        out_data = np.log(self.data)
+
+        def backward(g):
+            a._accumulate(g / a.data)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def sqrt(self):
+        a = self
+        out_data = np.sqrt(self.data)
+
+        def backward(g):
+            a._accumulate(g * 0.5 / out_data)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def tanh(self):
+        a = self
+        out_data = np.tanh(self.data)
+
+        def backward(g):
+            a._accumulate(g * (1.0 - out_data * out_data))
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def sigmoid(self):
+        a = self
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(g):
+            a._accumulate(g * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def relu(self):
+        a = self
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(g):
+            a._accumulate(g * mask)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def clip(self, lo: float, hi: float):
+        a = self
+        out_data = np.clip(self.data, lo, hi)
+        mask = (self.data >= lo) & (self.data <= hi)
+
+        def backward(g):
+            a._accumulate(g * mask)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    # comparison helpers (no grad, return plain bool arrays)
+    def __gt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data > other
+
+    def __lt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data < other
+
+    def __ge__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data >= other
+
+    def __le__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data <= other
+
+
+def tensor(data, requires_grad: bool = False, dtype=None) -> Tensor:
+    """Construct a :class:`Tensor` (convenience mirroring ``torch.tensor``)."""
+    return Tensor(data, requires_grad=requires_grad, dtype=dtype)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable concatenation along ``axis``."""
+    ts = list(tensors)
+    out_data = np.concatenate([t.data for t in ts], axis=axis)
+    sizes = [t.shape[axis] for t in ts]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g):
+        for t, lo, hi in zip(ts, offsets[:-1], offsets[1:]):
+            sl = [slice(None)] * g.ndim
+            sl[axis] = slice(lo, hi)
+            t._accumulate(g[tuple(sl)])
+
+    return Tensor._make(out_data, tuple(ts), backward)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable stack along a new ``axis``."""
+    ts = list(tensors)
+    out_data = np.stack([t.data for t in ts], axis=axis)
+
+    def backward(g):
+        for i, t in enumerate(ts):
+            sl = [slice(None)] * g.ndim
+            sl[axis] = i
+            t._accumulate(g[tuple(sl)])
+
+    return Tensor._make(out_data, tuple(ts), backward)

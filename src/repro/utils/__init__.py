@@ -1,0 +1,9 @@
+"""Shared utilities: seeded RNG trees, metrics, experiment logging."""
+
+from repro.utils.rng import seed_tree, spawn_rng
+from repro.utils.metrics import (RunningAverage, EarlyStopper, best_smoothed,
+                                 rounds_to_target)
+from repro.utils.logging import ExperimentLog, render_table
+
+__all__ = ["seed_tree", "spawn_rng", "RunningAverage", "EarlyStopper",
+           "best_smoothed", "rounds_to_target", "ExperimentLog", "render_table"]

@@ -1,0 +1,76 @@
+"""Classification evaluation beyond top-1: confusion matrix, per-class
+accuracy, macro-F1, top-k.
+
+The paper reports top-1 only, but per-class views are what reveal *why*
+heterogeneous clients diverge (a client missing class k collapses on it),
+so the local-accuracy analyses and several tests use these.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def confusion_matrix(pred: np.ndarray, labels: np.ndarray,
+                     num_classes: int | None = None) -> np.ndarray:
+    """(num_classes, num_classes) counts; rows = true, cols = predicted."""
+    pred = np.asarray(pred, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if pred.shape != labels.shape:
+        raise ValueError("pred/labels shape mismatch")
+    k = num_classes or int(max(pred.max(initial=0), labels.max(initial=0))) + 1
+    out = np.zeros((k, k), dtype=np.int64)
+    np.add.at(out, (labels, pred), 1)
+    return out
+
+
+def per_class_accuracy(cm: np.ndarray) -> np.ndarray:
+    """Recall per class from a confusion matrix (NaN for absent classes)."""
+    cm = np.asarray(cm, dtype=np.float64)
+    totals = cm.sum(axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(totals > 0, np.diag(cm) / totals, np.nan)
+
+
+def macro_f1(cm: np.ndarray) -> float:
+    """Unweighted mean F1 over classes present in the labels."""
+    cm = np.asarray(cm, dtype=np.float64)
+    tp = np.diag(cm)
+    fp = cm.sum(axis=0) - tp
+    fn = cm.sum(axis=1) - tp
+    present = cm.sum(axis=1) > 0
+    with np.errstate(invalid="ignore", divide="ignore"):
+        precision = np.where(tp + fp > 0, tp / (tp + fp), 0.0)
+        recall = np.where(tp + fn > 0, tp / (tp + fn), 0.0)
+        denom = precision + recall
+        f1 = np.where(denom > 0, 2 * precision * recall / denom, 0.0)
+    return float(f1[present].mean()) if present.any() else float("nan")
+
+
+def topk_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Fraction of samples whose label is among the k highest logits."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if k < 1 or k > logits.shape[1]:
+        raise ValueError(f"k must be in [1, {logits.shape[1]}]")
+    topk = np.argpartition(logits, -k, axis=1)[:, -k:]
+    return float((topk == labels[:, None]).any(axis=1).mean())
+
+
+def evaluate_per_class(model, data, batch_size: int = 256) -> dict:
+    """Run ``model`` over ``data``; return cm, per-class acc, macro-F1."""
+    from repro.tensor import Tensor
+    model.eval()
+    preds = []
+    for lo in range(0, len(data), batch_size):
+        logits = model(Tensor(data.x[lo:lo + batch_size]))
+        preds.append(logits.data.argmax(axis=1))
+    model.train()
+    pred = np.concatenate(preds)
+    cm = confusion_matrix(pred, data.y, num_classes=data.num_classes)
+    return {
+        "confusion": cm,
+        "per_class_accuracy": per_class_accuracy(cm),
+        "macro_f1": macro_f1(cm),
+        "accuracy": float((pred == data.y).mean()),
+    }

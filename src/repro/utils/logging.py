@@ -1,0 +1,80 @@
+"""Structured experiment logging.
+
+``ExperimentLog`` collects per-round scalar series (accuracy, loss, bytes
+communicated...) and renders aligned text tables — the same rows the
+paper's tables report — without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from collections import defaultdict
+from typing import Any
+
+
+class ExperimentLog:
+    """Append-only per-round metric store with text rendering."""
+
+    def __init__(self, name: str = "experiment", stream=None, verbose: bool = False):
+        self.name = name
+        self.series: dict[str, list[float]] = defaultdict(list)
+        self.meta: dict[str, Any] = {}
+        self.stream = stream if stream is not None else sys.stdout
+        self.verbose = verbose
+        self._t0 = time.perf_counter()
+
+    def log(self, **scalars: float) -> None:
+        """Record one round's scalars; series may advance at different rates."""
+        for key, value in scalars.items():
+            self.series[key].append(float(value))
+        if self.verbose:
+            parts = " ".join(f"{k}={v:.4g}" for k, v in scalars.items())
+            print(f"[{self.name} +{time.perf_counter() - self._t0:.1f}s] {parts}",
+                  file=self.stream)
+
+    def last(self, key: str, default: float = float("nan")) -> float:
+        s = self.series.get(key)
+        return s[-1] if s else default
+
+    def __getitem__(self, key: str) -> list[float]:
+        return self.series[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.series
+
+    def to_json(self) -> str:
+        return json.dumps({"name": self.name, "meta": self.meta,
+                           "series": dict(self.series)})
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ExperimentLog":
+        data = json.loads(payload)
+        log = cls(data["name"])
+        log.meta = data["meta"]
+        for key, vals in data["series"].items():
+            log.series[key] = list(vals)
+        return log
+
+
+def render_table(headers: list[str], rows: list[list[Any]],
+                 title: str | None = None) -> str:
+    """Render an aligned monospaced table (paper-table style output)."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)

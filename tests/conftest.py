@@ -1,0 +1,66 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticCIFAR10, dirichlet_partition
+from repro.fl import make_federated_clients
+from repro.models import build_model
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def numerical_gradient(f, x, eps: float = 1e-5) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``f`` at ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    for _ in it:
+        i = it.multi_index
+        old = x[i]
+        x[i] = old + eps
+        hi = f(x)
+        x[i] = old - eps
+        lo = f(x)
+        x[i] = old
+        g[i] = (hi - lo) / (2 * eps)
+    return g
+
+
+def assert_grad_close(analytic, numeric, atol=1e-6, rtol=1e-4):
+    analytic = np.asarray(analytic, dtype=np.float64)
+    numeric = np.asarray(numeric, dtype=np.float64)
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """800-sample 12x12 synthetic CIFAR — shared read-only across tests."""
+    return SyntheticCIFAR10(n_samples=800, size=12, seed=99)
+
+
+@pytest.fixture(scope="session")
+def tiny_setting(tiny_dataset):
+    """(model_fn, partition) for FL tests; clients built per test."""
+    parts = dirichlet_partition(tiny_dataset.y, 4, beta=0.5, seed=3)
+
+    def model_fn():
+        return build_model("resnet20", width_mult=0.2, input_size=12, seed=11)
+
+    return model_fn, parts
+
+
+@pytest.fixture
+def tiny_clients(tiny_dataset, tiny_setting):
+    _, parts = tiny_setting
+    return make_federated_clients(tiny_dataset, parts, batch_size=32, seed=5)
+
+
+@pytest.fixture
+def tiny_model_fn(tiny_setting):
+    return tiny_setting[0]

@@ -1,0 +1,40 @@
+"""Unit tests: the CLI parses and dispatches (tiny footprints)."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+class TestParser:
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for cmd in COMMANDS:
+            args = parser.parse_args([cmd])
+            assert args.command == cmd
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["table1", "--scale", "small", "--clients", "12",
+             "--target", "0.7"])
+        assert args.scale == "small"
+        assert args.clients == 12
+        assert args.target == pytest.approx(0.7)
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["make-coffee"])
+
+
+class TestDispatch:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for cmd in COMMANDS:
+            assert cmd in out
+
+    def test_learning_efficiency_smoke(self, capsys):
+        rc = main(["learning-efficiency", "--clients", "2", "--rounds", "1",
+                   "--sample-ratio", "1.0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "spatl" in out and "fedavg" in out

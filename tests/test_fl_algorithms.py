@@ -1,0 +1,179 @@
+"""Unit + integration tests: FedAvg, FedProx, FedNova, SCAFFOLD semantics."""
+
+import numpy as np
+import pytest
+
+from repro.fl import FedAvg, FedNova, FedProx, Scaffold
+from repro.fl.comm import payload_nbytes
+
+
+def _fresh(tiny_dataset, tiny_setting):
+    from repro.fl import make_federated_clients
+    model_fn, parts = tiny_setting
+    clients = make_federated_clients(tiny_dataset, parts, batch_size=32,
+                                     seed=5)
+    return model_fn, clients
+
+
+class TestFedAvg:
+    def test_aggregate_is_weighted_mean(self, tiny_dataset, tiny_setting):
+        model_fn, clients = _fresh(tiny_dataset, tiny_setting)
+        algo = FedAvg(model_fn, clients, lr=0.05, local_epochs=1, seed=0)
+        u1 = {"state": {"w": np.asarray([1.0], dtype=np.float32)}, "n": 1}
+        u2 = {"state": {"w": np.asarray([4.0], dtype=np.float32)}, "n": 3}
+        from repro.fl.local import weighted_average_states
+        avg = weighted_average_states([u1["state"], u2["state"]],
+                                      [u1["n"], u2["n"]])
+        np.testing.assert_allclose(avg["w"], [3.25])
+
+    def test_single_client_roundtrip_equals_local(self, tiny_dataset,
+                                                  tiny_setting):
+        # With one client at full participation, one FedAvg round must equal
+        # plain local training of the global model.
+        model_fn, clients = _fresh(tiny_dataset, tiny_setting)
+        algo = FedAvg(model_fn, clients[:1], lr=0.05, local_epochs=1, seed=0)
+        reference = model_fn()
+        from repro.fl.local import train_local
+        train_local(reference, clients[0], 0, epochs=1, lr=0.05,
+                    momentum=algo.momentum)
+        algo.run_round(0)
+        for (n, p_ref), (_, p_glob) in zip(
+                reference.named_parameters(),
+                algo.global_model.named_parameters()):
+            np.testing.assert_allclose(p_ref.data, p_glob.data, atol=1e-6,
+                                       err_msg=n)
+
+    def test_symmetric_cost(self, tiny_dataset, tiny_setting):
+        model_fn, clients = _fresh(tiny_dataset, tiny_setting)
+        algo = FedAvg(model_fn, clients, lr=0.05, local_epochs=1, seed=0)
+        algo.run_round(0)
+        up = sum(algo.ledger.uplink[0].values())
+        down = sum(algo.ledger.downlink[0].values())
+        assert up == down  # full model both ways
+
+
+class TestFedProx:
+    def test_mu_zero_matches_fedavg(self, tiny_dataset, tiny_setting):
+        model_fn, clients_a = _fresh(tiny_dataset, tiny_setting)
+        _, clients_b = _fresh(tiny_dataset, tiny_setting)
+        fa = FedAvg(model_fn, clients_a, lr=0.05, local_epochs=1, seed=0)
+        fp = FedProx(model_fn, clients_b, lr=0.05, local_epochs=1, seed=0,
+                     mu=0.0)
+        fa.run_round(0)
+        fp.run_round(0)
+        for (n, p1), (_, p2) in zip(fa.global_model.named_parameters(),
+                                    fp.global_model.named_parameters()):
+            np.testing.assert_allclose(p1.data, p2.data, atol=1e-6,
+                                       err_msg=n)
+
+    def test_prox_term_restricts_drift(self, tiny_dataset, tiny_setting):
+        model_fn, clients_a = _fresh(tiny_dataset, tiny_setting)
+        _, clients_b = _fresh(tiny_dataset, tiny_setting)
+        small = FedProx(model_fn, clients_a, lr=0.05, local_epochs=2, seed=0,
+                        mu=0.0)
+        large = FedProx(model_fn, clients_b, lr=0.05, local_epochs=2, seed=0,
+                        mu=10.0)
+        init = {n: p.data.copy()
+                for n, p in small.global_model.named_parameters()}
+
+        def drift(algo):
+            return sum(float(np.abs(p.data - init[n]).sum())
+                       for n, p in algo.global_model.named_parameters())
+
+        small.run_round(0)
+        large.run_round(0)
+        assert drift(large) < drift(small)
+
+    def test_negative_mu_rejected(self, tiny_dataset, tiny_setting):
+        model_fn, clients = _fresh(tiny_dataset, tiny_setting)
+        with pytest.raises(ValueError):
+            FedProx(model_fn, clients, lr=0.05, mu=-1.0)
+
+
+class TestFedNova:
+    def test_effective_steps_momentum_formula(self, tiny_dataset,
+                                              tiny_setting):
+        model_fn, clients = _fresh(tiny_dataset, tiny_setting)
+        algo = FedNova(model_fn, clients, lr=0.05, momentum=0.9, seed=0)
+        # closed form: a = (tau - rho(1-rho^tau)/(1-rho)) / (1-rho)
+        tau, rho = 5, 0.9
+        expected = (tau - rho * (1 - rho ** tau) / (1 - rho)) / (1 - rho)
+        assert algo._effective_steps(tau) == pytest.approx(expected)
+
+    def test_effective_steps_no_momentum(self, tiny_dataset, tiny_setting):
+        model_fn, clients = _fresh(tiny_dataset, tiny_setting)
+        algo = FedNova(model_fn, clients, lr=0.05, momentum=0.0, seed=0)
+        assert algo._effective_steps(7) == 7.0
+
+    def test_uplink_carries_momentum_2x(self, tiny_dataset, tiny_setting):
+        model_fn, clients = _fresh(tiny_dataset, tiny_setting)
+        nova = FedNova(model_fn, clients, lr=0.05, local_epochs=1, seed=0)
+        nova.run_round(0)
+        _, clients2 = _fresh(tiny_dataset, tiny_setting)
+        avg = FedAvg(model_fn, clients2, lr=0.05, local_epochs=1, seed=0)
+        avg.run_round(0)
+        ratio = (nova.ledger.round_bytes(0) / avg.ledger.round_bytes(0))
+        assert 1.7 < ratio < 2.3  # ~2x FedAvg per round, as in Table I
+
+    def test_improves_over_rounds(self, tiny_dataset, tiny_setting):
+        model_fn, clients = _fresh(tiny_dataset, tiny_setting)
+        algo = FedNova(model_fn, clients, lr=0.05, local_epochs=2, seed=0)
+        log = algo.run(rounds=4)
+        assert log["val_acc"][-1] > log["val_acc"][0] - 0.05
+
+
+class TestScaffold:
+    def test_defaults_to_vanilla_sgd(self, tiny_dataset, tiny_setting):
+        model_fn, clients = _fresh(tiny_dataset, tiny_setting)
+        algo = Scaffold(model_fn, clients, lr=0.05, seed=0)
+        assert algo.momentum == 0.0
+
+    def test_first_round_matches_fedavg_sgd(self, tiny_dataset, tiny_setting):
+        # c = c_i = 0 initially, so round 0 must equal FedAvg with plain SGD.
+        # SCAFFOLD averages clients *unweighted*, so use equal-size shards.
+        from repro.data import iid_partition
+        from repro.fl import make_federated_clients
+        model_fn, _ = tiny_setting
+        parts = iid_partition(tiny_dataset.y, 4, seed=0)
+        clients_a = make_federated_clients(tiny_dataset, parts, seed=5)
+        clients_b = make_federated_clients(tiny_dataset, parts, seed=5)
+        sc = Scaffold(model_fn, clients_a, lr=0.05, local_epochs=1, seed=0)
+        fa = FedAvg(model_fn, clients_b, lr=0.05, local_epochs=1, seed=0,
+                    momentum=0.0)
+        sc.run_round(0)
+        fa.run_round(0)
+        for (n, p1), (_, p2) in zip(sc.global_model.named_parameters(),
+                                    fa.global_model.named_parameters()):
+            np.testing.assert_allclose(p1.data, p2.data, atol=1e-5,
+                                       err_msg=n)
+
+    def test_variate_refresh_equation(self, tiny_dataset, tiny_setting):
+        # After one local update: c_i+ = c_i - c + (x - y)/(K*eta)
+        model_fn, clients = _fresh(tiny_dataset, tiny_setting)
+        algo = Scaffold(model_fn, clients, lr=0.05, local_epochs=1, seed=0)
+        client = clients[0]
+        x = {n: p.data.copy()
+             for n, p in algo.global_model.named_parameters()}
+        update = algo.local_update(client, 0)
+        steps = update["steps"]
+        name = next(iter(update["delta_w"]))
+        expected = -(update["delta_w"][name]) / (steps * algo.lr)
+        np.testing.assert_allclose(client.local_state["c_i"][name], expected,
+                                   atol=1e-6)
+
+    def test_cost_is_2x_fedavg(self, tiny_dataset, tiny_setting):
+        model_fn, clients = _fresh(tiny_dataset, tiny_setting)
+        sc = Scaffold(model_fn, clients, lr=0.05, local_epochs=1, seed=0)
+        sc.run_round(0)
+        _, clients2 = _fresh(tiny_dataset, tiny_setting)
+        fa = FedAvg(model_fn, clients2, lr=0.05, local_epochs=1, seed=0)
+        fa.run_round(0)
+        ratio = sc.ledger.round_bytes(0) / fa.ledger.round_bytes(0)
+        assert 1.7 < ratio < 2.3
+
+    def test_server_variate_moves(self, tiny_dataset, tiny_setting):
+        model_fn, clients = _fresh(tiny_dataset, tiny_setting)
+        algo = Scaffold(model_fn, clients, lr=0.05, local_epochs=1, seed=0)
+        algo.run_round(0)
+        total = sum(float(np.abs(v).sum()) for v in algo.c_global.values())
+        assert total > 0.0

@@ -1,0 +1,111 @@
+"""Unit + property tests: wire codec and communication ledger."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.fl import (CommLedger, deserialize_state, payload_nbytes,
+                      serialize_state, sparse_payload_nbytes)
+
+
+class TestCodec:
+    def test_roundtrip_mixed_dtypes(self):
+        state = {
+            "w": np.random.default_rng(0).normal(size=(3, 4)).astype(np.float32),
+            "idx": np.asarray([1, 5, 9], dtype=np.int32),
+            "flag": np.asarray([True, False]),
+            "scalar": np.asarray(3.5, dtype=np.float64),
+            "big": np.arange(10, dtype=np.int64),
+        }
+        out = deserialize_state(serialize_state(state))
+        assert set(out) == set(state)
+        for k in state:
+            np.testing.assert_array_equal(out[k], state[k], err_msg=k)
+            assert out[k].dtype == state[k].dtype
+
+    def test_payload_nbytes_is_exact(self):
+        state = {"a": np.zeros((5, 5), dtype=np.float32),
+                 "long.dotted.name": np.ones(7, dtype=np.int64)}
+        assert payload_nbytes(state) == len(serialize_state(state))
+
+    def test_empty_state(self):
+        assert deserialize_state(serialize_state({})) == {}
+        assert payload_nbytes({}) == 4
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            serialize_state({"c": np.zeros(2, dtype=np.complex64)})
+
+    def test_unicode_names(self):
+        state = {"ünïcode.wéight": np.ones(2, dtype=np.float32)}
+        out = deserialize_state(serialize_state(state))
+        assert "ünïcode.wéight" in out
+
+    @given(st.dictionaries(
+        st.text(min_size=1, max_size=20).filter(lambda s: "\x00" not in s),
+        hnp.arrays(st.sampled_from([np.float32, np.int32, np.int64]).map(np.dtype),
+                   hnp.array_shapes(max_dims=3, max_side=5),
+                   elements=st.integers(-100, 100)),
+        max_size=5))
+    @settings(max_examples=25, deadline=None)
+    def test_property_roundtrip(self, state):
+        out = deserialize_state(serialize_state(state))
+        assert set(out) == set(state)
+        for k in state:
+            np.testing.assert_array_equal(out[k], state[k])
+        assert payload_nbytes(state) == len(serialize_state(state))
+
+
+class TestSparsePayload:
+    def test_counts_values_and_int32_indices(self):
+        sel = {"conv": (np.asarray([0, 2], dtype=np.int64),
+                        np.zeros((2, 3, 3, 3), dtype=np.float32))}
+        n = sparse_payload_nbytes(sel)
+        values_bytes = 2 * 3 * 3 * 3 * 4
+        index_bytes = 2 * 4
+        assert n > values_bytes + index_bytes
+        assert n < values_bytes + index_bytes + 100  # headers only
+
+    def test_sparser_is_smaller(self):
+        full = {"c": (np.arange(16, dtype=np.int32),
+                      np.zeros((16, 3, 3, 3), dtype=np.float32))}
+        half = {"c": (np.arange(8, dtype=np.int32),
+                      np.zeros((8, 3, 3, 3), dtype=np.float32))}
+        assert sparse_payload_nbytes(half) < sparse_payload_nbytes(full) / 1.8
+
+
+class TestLedger:
+    def test_round_and_total(self):
+        ledger = CommLedger()
+        ledger.record_down(0, 1, 100)
+        ledger.record_up(0, 1, 50)
+        ledger.record_down(1, 2, 200)
+        assert ledger.round_bytes(0) == 150
+        assert ledger.round_bytes(1) == 200
+        assert ledger.total_bytes() == 350
+        assert ledger.total_bytes(up_to_round=0) == 150
+
+    def test_accumulates_same_round_client(self):
+        ledger = CommLedger()
+        ledger.record_up(0, 1, 10)
+        ledger.record_up(0, 1, 5)
+        assert ledger.round_bytes(0) == 15
+
+    def test_per_round_per_client_mb(self):
+        ledger = CommLedger()
+        mb = 2 ** 20
+        ledger.record_down(0, 0, mb)
+        ledger.record_up(0, 0, mb)
+        ledger.record_down(0, 1, 3 * mb)
+        ledger.record_up(0, 1, 3 * mb)
+        assert ledger.per_round_per_client_mb() == pytest.approx(4.0)
+
+    def test_total_gb(self):
+        ledger = CommLedger()
+        ledger.record_up(0, 0, 2 ** 30)
+        assert ledger.total_gb() == pytest.approx(1.0)
+
+    def test_empty_ledger(self):
+        assert CommLedger().total_bytes() == 0
+        assert CommLedger().per_round_per_client_mb() == 0.0

@@ -1,0 +1,162 @@
+"""Unit tests: computational graph extraction, features, GNN."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gnn import GCNLayer, GraphEncoder
+from repro.graph import (FEATURE_DIM, build_graph, node_feature_matrix,
+                         normalized_adjacency, to_networkx)
+from repro.models import build_model
+from repro.tensor import Tensor
+
+R = np.random.default_rng(0)
+
+
+def _model(name="resnet20", size=16):
+    return build_model(name, input_size=size, width_mult=0.25, seed=0)
+
+
+class TestGraphStructure:
+    def test_resnet_graph_counts(self):
+        g = build_graph(_model().encoder)
+        # input + stem + 9 blocks x (conv1, conv2) + gap
+        assert g.n_nodes == 2 + 18 + 1
+        assert len(g.prunable_names) == 9
+        # 9 skip edges exist
+        assert sum(1 for *_, op in g.edges if op == "skip") == 9
+
+    def test_vgg_graph_is_chain(self):
+        g = build_graph(_model("vgg11", 32).encoder)
+        nxg = to_networkx(g)
+        assert nx.is_directed_acyclic_graph(nxg)
+        # chain: each non-terminal node has exactly one successor
+        assert all(nxg.out_degree(n) <= 1 for n in nxg.nodes)
+        assert len(g.prunable_names) == 8  # 8 convs in VGG-11
+
+    def test_prunable_indices_point_at_prunable_nodes(self):
+        g = build_graph(_model().encoder)
+        for i in g.prunable_indices():
+            assert g.nodes[i].prunable
+
+    def test_dag_and_connected(self):
+        for name, size in [("resnet20", 16), ("vgg11", 32), ("cnn2", 28)]:
+            g = build_graph(_model(name, size).encoder)
+            nxg = to_networkx(g)
+            assert nx.is_directed_acyclic_graph(nxg)
+            assert nx.is_weakly_connected(nxg)
+
+
+class TestFlopsRatio:
+    def test_keep_all_is_one(self):
+        g = build_graph(_model().encoder)
+        assert g.flops_ratio({n: 1.0 for n in g.prunable_names}) == \
+            pytest.approx(1.0)
+
+    def test_monotone_in_keep(self):
+        g = build_graph(_model().encoder)
+        r_low = g.flops_ratio({n: 0.3 for n in g.prunable_names})
+        r_high = g.flops_ratio({n: 0.7 for n in g.prunable_names})
+        assert r_low < r_high < 1.0
+
+    def test_resnet_half_keep_close_to_half(self):
+        # pruning conv1 scales both conv1 (out) and conv2 (in) linearly,
+        # so uniform keep k gives ratio ~ k on the block convs
+        g = build_graph(_model().encoder)
+        ratio = g.flops_ratio({n: 0.5 for n in g.prunable_names})
+        assert 0.4 < ratio < 0.65
+
+    def test_vgg_half_keep_is_quadratic(self):
+        # chained: both in and out sides shrink -> ~k^2 on interior layers
+        g = build_graph(_model("vgg11", 32).encoder)
+        ratio = g.flops_ratio({n: 0.5 for n in g.prunable_names})
+        assert 0.2 < ratio < 0.4
+
+    @given(st.floats(0.05, 1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_ratio_bounded(self, keep):
+        g = build_graph(_model().encoder)
+        r = g.flops_ratio({n: keep for n in g.prunable_names})
+        assert 0.0 < r <= 1.0 + 1e-9
+
+    def test_params_ratio_also_works(self):
+        g = build_graph(_model().encoder)
+        r = g.params_ratio({n: 0.5 for n in g.prunable_names})
+        assert 0.3 < r < 0.9
+
+    def test_missing_layers_default_to_kept(self):
+        g = build_graph(_model().encoder)
+        assert g.flops_ratio({}) == pytest.approx(1.0)
+
+
+class TestFeatures:
+    def test_feature_matrix_shape_and_range(self):
+        g = build_graph(_model().encoder)
+        x = node_feature_matrix(g)
+        assert x.shape == (g.n_nodes, FEATURE_DIM)
+        assert np.isfinite(x).all()
+        # one-hot kind: exactly one of the first 4 columns set
+        np.testing.assert_array_equal(x[:, :4].sum(axis=1),
+                                      np.ones(g.n_nodes))
+
+    def test_keep_column_reflects_state(self):
+        g = build_graph(_model().encoder)
+        layer = g.prunable_names[0]
+        x = node_feature_matrix(g, keep={layer: 0.25})
+        idx = g.prunable_indices()[0]
+        assert x[idx, 11] == pytest.approx(0.25)
+        # other prunable nodes stay 1.0
+        assert x[g.prunable_indices()[1], 11] == pytest.approx(1.0)
+
+    def test_flops_share_sums_to_one(self):
+        g = build_graph(_model().encoder)
+        x = node_feature_matrix(g)
+        np.testing.assert_allclose(x[:, 8].sum(), 1.0, atol=1e-5)
+
+    def test_adjacency_symmetric_normalized(self):
+        g = build_graph(_model().encoder)
+        a = normalized_adjacency(g)
+        np.testing.assert_allclose(a, a.T, atol=1e-6)
+        eigs = np.linalg.eigvalsh(a)
+        assert eigs.max() <= 1.0 + 1e-5  # GCN propagation spectral bound
+
+
+class TestGNN:
+    def test_gcn_shapes(self):
+        layer = GCNLayer(6, 4, rng=R)
+        h = Tensor(R.normal(size=(5, 6)).astype(np.float32))
+        a = np.eye(5, dtype=np.float32)
+        assert layer(h, a).shape == (5, 4)
+
+    def test_gcn_bad_activation(self):
+        with pytest.raises(ValueError):
+            GCNLayer(3, 3, activation="gelu")
+
+    def test_encoder_pools(self):
+        enc = GraphEncoder(FEATURE_DIM, hidden_dim=8, rng=R)
+        g = build_graph(_model().encoder)
+        node_emb, graph_emb = enc(node_feature_matrix(g),
+                                  normalized_adjacency(g))
+        assert node_emb.shape == (g.n_nodes, 8)
+        assert graph_emb.shape == (8,)
+
+    def test_gradients_reach_all_gcn_params(self):
+        enc = GraphEncoder(FEATURE_DIM, hidden_dim=8, rng=R)
+        g = build_graph(_model().encoder)
+        _, emb = enc(node_feature_matrix(g), normalized_adjacency(g))
+        (emb * emb).sum().backward()
+        assert all(p.grad is not None for p in enc.parameters())
+
+    def test_message_passing_uses_topology(self):
+        # same features, different adjacency -> different embeddings
+        enc = GraphEncoder(FEATURE_DIM, hidden_dim=8, rng=R)
+        g = build_graph(_model().encoder)
+        x = node_feature_matrix(g)
+        _, e1 = enc(x, normalized_adjacency(g))
+        _, e2 = enc(x, np.eye(g.n_nodes, dtype=np.float32))
+        assert not np.allclose(e1.data, e2.data)
+
+    def test_requires_at_least_one_layer(self):
+        with pytest.raises(ValueError):
+            GraphEncoder(4, n_layers=0)

@@ -1,0 +1,81 @@
+"""Unit tests: FLOPs counting against hand-computed values."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.nn import (Conv2d, Linear, MaxPool2d, ReLU, Sequential, count_flops,
+                      count_params)
+
+R = np.random.default_rng(0)
+
+
+class TestConvFlops:
+    def test_single_conv_formula(self):
+        # 8 out channels, 3 in, 3x3 kernel, 32x32 output (padding 1)
+        m = Sequential(Conv2d(3, 8, 3, padding=1, bias=False, rng=R))
+        rep = count_flops(m, (3, 32, 32))
+        assert rep.total == 2 * 8 * 32 * 32 * 3 * 9
+
+    def test_conv_bias_adds_outputs(self):
+        no_bias = count_flops(Sequential(Conv2d(3, 8, 3, padding=1,
+                                                bias=False, rng=R)),
+                              (3, 16, 16)).total
+        with_bias = count_flops(Sequential(Conv2d(3, 8, 3, padding=1,
+                                                  bias=True, rng=R)),
+                                (3, 16, 16)).total
+        assert with_bias - no_bias == 8 * 16 * 16
+
+    def test_stride_reduces_flops(self):
+        s1 = count_flops(Sequential(Conv2d(3, 8, 3, stride=1, padding=1,
+                                           rng=R)), (3, 32, 32)).total
+        s2 = count_flops(Sequential(Conv2d(3, 8, 3, stride=2, padding=1,
+                                           rng=R)), (3, 32, 32)).total
+        assert abs(s1 / s2 - 4.0) < 0.1
+
+    def test_linear_formula(self):
+        m = Sequential(Linear(100, 10, bias=False, rng=R))
+        assert count_flops(m, (100,)).total == 2 * 100 * 10
+
+    def test_params_match_model(self):
+        m = Sequential(Conv2d(3, 4, 3, rng=R), ReLU(), MaxPool2d(2),
+                       Linear(4 * 7 * 7, 10, rng=R))
+        rep = count_flops(m, (3, 16, 16))
+        assert rep.params == m.num_parameters() == count_params(m)
+
+    def test_by_layer_breakdown_sums_to_total(self):
+        m = Sequential(Conv2d(3, 4, 3, padding=1, rng=R), ReLU(),
+                       Linear(4 * 8 * 8, 5, rng=R))
+        rep = count_flops(m, (3, 8, 8))
+        assert sum(rep.by_layer.values()) == rep.total
+
+
+class TestModelFlops:
+    @pytest.mark.parametrize("name", ["resnet20", "vgg11", "cnn2"])
+    def test_conv_specs_flops_positive_and_consistent(self, name):
+        size = 28 if name == "cnn2" else 32
+        m = build_model(name, input_size=size, width_mult=0.25, seed=0)
+        specs = m.encoder.conv_specs()
+        assert all(s.flops > 0 for s in specs)
+        assert all(s.weight_numel > 0 for s in specs)
+        # spec names match actual parameters
+        params = dict(m.encoder.named_parameters())
+        for s in specs:
+            assert s.name + ".weight" in params
+            w = params[s.name + ".weight"]
+            assert w.shape[0] == s.out_channels
+            assert w.shape[1] == s.in_channels
+
+    def test_width_mult_scales_flops_quadratically(self):
+        full = build_model("vgg11", input_size=32, width_mult=1.0, seed=0)
+        half = build_model("vgg11", input_size=32, width_mult=0.5, seed=0)
+        f_full = sum(s.flops for s in full.encoder.conv_specs())
+        f_half = sum(s.flops for s in half.encoder.conv_specs())
+        assert 3.3 < f_full / f_half < 4.7  # ~4x (both in/out channels halve)
+
+    def test_resnet20_paperish_flops(self):
+        # Full-size ResNet-20 on 32x32 is ~41M MACs (~82 MFLOPs in our
+        # 2-FLOPs-per-MAC convention); conv specs cover most of it.
+        m = build_model("resnet20", input_size=32, width_mult=1.0, seed=0)
+        conv1_flops = sum(s.flops for s in m.encoder.conv_specs())
+        assert 1e7 < conv1_flops < 1e8

@@ -1,0 +1,162 @@
+"""Unit tests: Module/Parameter plumbing, state dicts, containers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (BatchNorm2d, Conv2d, Linear, Module, ModuleList,
+                      Parameter, ReLU, Sequential)
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(0)
+
+
+class Net(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 8, rng=RNG)
+        self.fc2 = Linear(8, 2, rng=RNG)
+        self.scale = Parameter(np.ones(1, dtype=np.float32))
+        self.register_buffer("counter", np.zeros(1))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu()) * self.scale
+
+
+class TestTraversal:
+    def test_named_parameters_order_and_names(self):
+        net = Net()
+        names = [n for n, _ in net.named_parameters()]
+        assert names == ["scale", "fc1.weight", "fc1.bias",
+                         "fc2.weight", "fc2.bias"]
+
+    def test_parameters_are_parameters(self):
+        assert all(isinstance(p, Parameter) for p in Net().parameters())
+
+    def test_named_buffers(self):
+        net = Net()
+        buf_names = [n for n, _ in net.named_buffers()]
+        assert buf_names == ["counter"]
+
+    def test_named_modules(self):
+        net = Net()
+        names = [n for n, _ in net.named_modules()]
+        assert "" in names and "fc1" in names and "fc2" in names
+
+    def test_num_parameters(self):
+        net = Net()
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2 + 1
+
+    def test_apply(self):
+        net = Net()
+        seen = []
+        net.apply(lambda m: seen.append(type(m).__name__))
+        assert "Net" in seen and seen.count("Linear") == 2
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        net1, net2 = Net(), Net()
+        state = net1.state_dict()
+        net2.load_state_dict(state)
+        for (n1, p1), (_, p2) in zip(net1.named_parameters(),
+                                     net2.named_parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data, err_msg=n1)
+
+    def test_state_dict_copies(self):
+        net = Net()
+        state = net.state_dict()
+        state["fc1.weight"][...] = 0
+        assert not np.all(net.fc1.weight.data == 0)
+
+    def test_load_checks_shapes(self):
+        net = Net()
+        bad = net.state_dict()
+        bad["fc1.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            net.load_state_dict(bad)
+
+    def test_strict_missing_raises(self):
+        net = Net()
+        state = net.state_dict()
+        del state["fc2.bias"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_strict_unexpected_raises(self):
+        net = Net()
+        state = net.state_dict()
+        state["ghost"] = np.ones(1)
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_non_strict_ignores(self):
+        net = Net()
+        state = net.state_dict()
+        del state["fc2.bias"]
+        state["ghost"] = np.ones(1)
+        net.load_state_dict(state, strict=False)
+
+    def test_buffers_load(self):
+        net1, net2 = Net(), Net()
+        net1.set_buffer("counter", np.asarray([42.0]))
+        net2.load_state_dict(net1.state_dict())
+        np.testing.assert_allclose(net2.counter, [42.0])
+
+    def test_set_unknown_buffer_raises(self):
+        with pytest.raises(KeyError):
+            Net().set_buffer("ghost", np.ones(1))
+
+
+class TestTrainingModeAndGrad:
+    def test_train_eval_recursive(self):
+        net = Sequential(Linear(2, 2, rng=RNG), BatchNorm2d(2))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad(self):
+        net = Net()
+        out = net(Tensor(RNG.normal(size=(3, 4)).astype(np.float32)))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestContainers:
+    def test_sequential_forward_order(self):
+        seq = Sequential(Linear(3, 5, rng=RNG), ReLU(), Linear(5, 2, rng=RNG))
+        out = seq(Tensor(RNG.normal(size=(4, 3)).astype(np.float32)))
+        assert out.shape == (4, 2)
+
+    def test_sequential_indexing(self):
+        seq = Sequential(ReLU(), ReLU())
+        assert isinstance(seq[0], ReLU)
+        assert isinstance(seq[-1], ReLU)
+        assert len(seq) == 2
+
+    def test_sequential_append(self):
+        seq = Sequential(ReLU())
+        seq.append(ReLU())
+        assert len(seq) == 2
+
+    def test_module_list(self):
+        ml = ModuleList([Linear(2, 2, rng=RNG) for _ in range(3)])
+        assert len(ml) == 3
+        assert sum(1 for _ in ml) == 3
+        ml.append(Linear(2, 2, rng=RNG))
+        assert len(ml) == 4
+        # parameters of children are discovered
+        assert sum(1 for _ in ml.named_parameters()) == 8
+
+    def test_repr_contains_children(self):
+        assert "Linear" in repr(Sequential(Linear(2, 2, rng=RNG)))
+
+
+def test_conv_module_registration():
+    conv = Conv2d(3, 8, 3, rng=RNG)
+    names = [n for n, _ in conv.named_parameters()]
+    assert names == ["weight", "bias"]
+    conv_nb = Conv2d(3, 8, 3, bias=False, rng=RNG)
+    assert [n for n, _ in conv_nb.named_parameters()] == ["weight"]

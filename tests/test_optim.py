@@ -1,0 +1,188 @@
+"""Unit tests: optimizers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, ConstantLR, CosineAnnealingLR, StepLR
+from repro.tensor import Tensor, functional as F
+
+R = np.random.default_rng(0)
+
+
+def quadratic_params():
+    """Single parameter with loss ||p - target||^2."""
+    p = Parameter(np.asarray([4.0, -3.0], dtype=np.float32))
+    target = np.asarray([1.0, 2.0], dtype=np.float32)
+    return p, target
+
+
+def quad_step(p, target):
+    p.grad = 2 * (p.data - target)
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p, target = quadratic_params()
+        opt = SGD([("p", p)], lr=0.1)
+        for _ in range(100):
+            quad_step(p, target)
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        losses = {}
+        for mom in (0.0, 0.9):
+            p, target = quadratic_params()
+            opt = SGD([("p", p)], lr=0.02, momentum=mom)
+            for _ in range(30):
+                quad_step(p, target)
+                opt.step()
+            losses[mom] = float(((p.data - target) ** 2).sum())
+        assert losses[0.9] < losses[0.0]
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.asarray([10.0], dtype=np.float32))
+        opt = SGD([("p", p)], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        assert p.data[0] < 10.0
+
+    def test_correction_hook_applied(self):
+        p = Parameter(np.zeros(2, dtype=np.float32))
+        opt = SGD([("p", p)], lr=1.0)
+        opt.add_correction_hook(lambda name, g: g + 5.0)
+        p.grad = np.zeros(2, dtype=np.float32)
+        opt.step()
+        np.testing.assert_allclose(p.data, [-5.0, -5.0])
+
+    def test_hooks_receive_name(self):
+        p1 = Parameter(np.zeros(1, dtype=np.float32))
+        p2 = Parameter(np.zeros(1, dtype=np.float32))
+        opt = SGD([("a", p1), ("b", p2)], lr=1.0)
+        opt.add_correction_hook(
+            lambda name, g: g + (1.0 if name == "a" else 0.0))
+        p1.grad = np.zeros(1, dtype=np.float32)
+        p2.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        np.testing.assert_allclose(p1.data, [-1.0])
+        np.testing.assert_allclose(p2.data, [0.0])
+
+    def test_clear_hooks(self):
+        p = Parameter(np.zeros(1, dtype=np.float32))
+        opt = SGD([("p", p)], lr=1.0)
+        opt.add_correction_hook(lambda n, g: g + 1.0)
+        opt.clear_correction_hooks()
+        p.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        np.testing.assert_allclose(p.data, [0.0])
+
+    def test_grad_norm_clip(self):
+        p = Parameter(np.zeros(4, dtype=np.float32))
+        opt = SGD([("p", p)], lr=1.0, max_grad_norm=1.0)
+        p.grad = np.full(4, 100.0, dtype=np.float32)
+        opt.step()
+        np.testing.assert_allclose(np.linalg.norm(p.data), 1.0, rtol=1e-4)
+
+    def test_skips_none_grads(self):
+        p = Parameter(np.ones(1, dtype=np.float32))
+        SGD([("p", p)], lr=1.0).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_state_dict_roundtrip(self):
+        p, target = quadratic_params()
+        opt = SGD([("p", p)], lr=0.1, momentum=0.9)
+        quad_step(p, target)
+        opt.step()
+        state = opt.state_dict()
+        opt2 = SGD([("p", p)], lr=0.5, momentum=0.9)
+        opt2.load_state_dict(state)
+        assert opt2.lr == 0.1
+        np.testing.assert_array_equal(opt2._velocity["p"], opt._velocity["p"])
+
+    def test_trains_real_model(self):
+        lin = Linear(4, 2, rng=R)
+        x = R.normal(size=(64, 4)).astype(np.float32)
+        y = (x[:, 0] > 0).astype(np.int64)
+        opt = SGD(list(lin.named_parameters()), lr=0.5, momentum=0.9)
+        first_loss = None
+        for _ in range(40):
+            loss = F.cross_entropy(lin(Tensor(x)), y)
+            if first_loss is None:
+                first_loss = loss.item()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.3 * first_loss
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p, target = quadratic_params()
+        opt = Adam([("p", p)], lr=0.2)
+        for _ in range(200):
+            quad_step(p, target)
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-2)
+
+    def test_freeze_by_prefix(self):
+        p1 = Parameter(np.zeros(1, dtype=np.float32))
+        p2 = Parameter(np.zeros(1, dtype=np.float32))
+        opt = Adam([("gnn.w", p1), ("head.w", p2)], lr=0.1)
+        opt.freeze(["gnn."])
+        p1.grad = np.ones(1, dtype=np.float32)
+        p2.grad = np.ones(1, dtype=np.float32)
+        opt.step()
+        np.testing.assert_allclose(p1.data, [0.0])
+        assert p2.data[0] != 0.0
+
+    def test_unfreeze(self):
+        p = Parameter(np.zeros(1, dtype=np.float32))
+        opt = Adam([("gnn.w", p)], lr=0.1)
+        opt.freeze(["gnn."])
+        opt.unfreeze_all()
+        p.grad = np.ones(1, dtype=np.float32)
+        opt.step()
+        assert p.data[0] != 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+
+class TestSchedulers:
+    def _opt(self):
+        return SGD([("p", Parameter(np.zeros(1, dtype=np.float32)))], lr=1.0)
+
+    def test_constant(self):
+        sch = ConstantLR(self._opt())
+        assert sch.step() == 1.0
+        assert sch.step() == 1.0
+
+    def test_step_lr(self):
+        opt = self._opt()
+        sch = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sch.step() for _ in range(4)]
+        np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+        assert opt.lr == pytest.approx(0.01)
+
+    def test_step_lr_validates(self):
+        with pytest.raises(ValueError):
+            StepLR(self._opt(), step_size=0)
+
+    def test_cosine(self):
+        sch = CosineAnnealingLR(self._opt(), t_max=10, eta_min=0.0)
+        lrs = [sch.step() for _ in range(10)]
+        assert lrs[0] > lrs[4] > lrs[-1]
+        np.testing.assert_allclose(lrs[-1], 0.0, atol=1e-8)
+
+    def test_cosine_clamps_past_tmax(self):
+        sch = CosineAnnealingLR(self._opt(), t_max=2, eta_min=0.1)
+        for _ in range(5):
+            lr = sch.step()
+        assert lr == pytest.approx(0.1)

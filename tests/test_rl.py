@@ -1,0 +1,339 @@
+"""Unit tests: policy, buffer/GAE, PPO, pruning environment, agent."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticCIFAR10, train_val_split
+from repro.graph import FEATURE_DIM, build_graph, node_feature_matrix, \
+    normalized_adjacency
+from repro.models import build_model
+from repro.optim import Adam
+from repro.pruning.baselines import finetune
+from repro.rl import (ActorCriticPolicy, GraphState, PPOConfig, PruningEnv,
+                      RolloutBuffer, SalientParameterAgent, Transition,
+                      ppo_update, pretrain_agent)
+
+R = np.random.default_rng(0)
+
+
+def _graph_state(model_name="resnet20", size=16):
+    m = build_model(model_name, input_size=size, width_mult=0.25, seed=0)
+    g = build_graph(m.encoder)
+    return GraphState(node_feature_matrix(g), normalized_adjacency(g),
+                      np.asarray(g.prunable_indices()))
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    ds = SyntheticCIFAR10(n_samples=900, size=12, seed=31)
+    train, val = train_val_split(ds, 0.25, seed=0)
+    model = build_model("resnet20", input_size=12, width_mult=0.25, seed=3)
+    finetune(model, train, epochs=3, lr=0.05, seed=0)
+    return model, train, val
+
+
+class TestPolicy:
+    def test_action_dim_matches_prunable(self):
+        policy = ActorCriticPolicy(FEATURE_DIM, seed=0)
+        state = _graph_state()
+        mu, value = policy(state)
+        assert mu.shape == (state.n_actions,)
+        assert value.shape == ()
+
+    def test_transfers_across_architectures(self):
+        # same policy, different graphs -> action dims adapt (agent
+        # transferability, Fig. 6)
+        policy = ActorCriticPolicy(FEATURE_DIM, seed=0)
+        s20 = _graph_state("resnet20")
+        s56 = _graph_state("resnet56")
+        assert policy(s20)[0].shape == (9,)
+        assert policy(s56)[0].shape == (27,)
+
+    def test_act_deterministic_repeatable(self):
+        policy = ActorCriticPolicy(FEATURE_DIM, seed=0)
+        state = _graph_state()
+        a1, _, v1 = policy.act(state, np.random.default_rng(0),
+                               deterministic=True)
+        a2, _, v2 = policy.act(state, np.random.default_rng(99),
+                               deterministic=True)
+        np.testing.assert_array_equal(a1, a2)
+        assert v1 == v2
+
+    def test_stochastic_logp_matches_manual(self):
+        policy = ActorCriticPolicy(FEATURE_DIM, seed=0)
+        state = _graph_state()
+        action, logp, _ = policy.act(state, np.random.default_rng(1))
+        mu, _ = policy(state)
+        std = float(np.exp(policy.log_std.data[0]))
+        z = (action - mu.data) / std
+        manual = float(np.sum(-0.5 * z ** 2 - np.log(std)
+                              - 0.5 * np.log(2 * np.pi)))
+        assert logp == pytest.approx(manual, rel=1e-5)
+
+    def test_evaluate_actions_differentiable(self):
+        policy = ActorCriticPolicy(FEATURE_DIM, seed=0)
+        state = _graph_state()
+        action = np.zeros(state.n_actions)
+        logp, value, entropy = policy.evaluate_actions(state, action)
+        (logp + value + entropy.sum()).backward()
+        head_names = policy.head_parameter_names()
+        grads = {n: p.grad for n, p in policy.named_parameters()}
+        assert any(grads[n] is not None for n in head_names)
+
+    def test_head_parameter_names(self):
+        policy = ActorCriticPolicy(FEATURE_DIM, seed=0)
+        heads = policy.head_parameter_names()
+        assert all(n.startswith(("actor_head.", "critic_head.", "log_std"))
+                   for n in heads)
+        assert not any(n.startswith("gnn.") for n in heads)
+
+    def test_memory_budget(self):
+        # paper quotes ~26 KB; ours must be the same order of magnitude
+        policy = ActorCriticPolicy(FEATURE_DIM, hidden_dim=32, seed=0)
+        assert policy.memory_bytes() < 60_000
+
+
+class TestBufferGAE:
+    def _tr(self, reward, value, done):
+        state = GraphState(np.zeros((2, FEATURE_DIM), dtype=np.float32),
+                           np.eye(2, dtype=np.float32), np.asarray([1]))
+        return Transition(state, np.zeros(1), 0.0, value, reward, done)
+
+    def test_single_step_episode_advantage(self):
+        buf = RolloutBuffer(gamma=0.9, gae_lambda=1.0)
+        buf.add(self._tr(reward=2.0, value=0.5, done=True))
+        buf.compute_gae()
+        np.testing.assert_allclose(buf.advantages, [1.5])
+        np.testing.assert_allclose(buf.returns, [2.0])
+
+    def test_two_step_episode(self):
+        buf = RolloutBuffer(gamma=0.5, gae_lambda=1.0)
+        buf.add(self._tr(reward=0.0, value=1.0, done=False))
+        buf.add(self._tr(reward=4.0, value=2.0, done=True))
+        buf.compute_gae()
+        # terminal step: delta = 4 - 2 = 2
+        # first step: delta = 0 + 0.5*2 - 1 = 0; gae = 0 + 0.5*1*2 = 1
+        np.testing.assert_allclose(buf.advantages, [1.0, 2.0])
+
+    def test_episode_boundary_resets(self):
+        buf = RolloutBuffer(gamma=0.9, gae_lambda=0.9)
+        buf.add(self._tr(1.0, 0.0, True))
+        buf.add(self._tr(1.0, 0.0, True))
+        buf.compute_gae()
+        np.testing.assert_allclose(buf.advantages, [1.0, 1.0])
+
+    def test_normalized_advantages(self):
+        buf = RolloutBuffer()
+        for r in (0.0, 1.0, 2.0, 3.0):
+            buf.add(self._tr(r, 0.0, True))
+        buf.compute_gae()
+        norm = buf.normalized_advantages()
+        assert abs(norm.mean()) < 1e-8
+        assert norm.std() == pytest.approx(1.0, abs=1e-6)
+
+    def test_normalized_requires_gae(self):
+        buf = RolloutBuffer()
+        buf.add(self._tr(1.0, 0.0, True))
+        with pytest.raises(RuntimeError):
+            buf.normalized_advantages()
+
+    def test_minibatch_partition(self):
+        buf = RolloutBuffer()
+        for _ in range(10):
+            buf.add(self._tr(0.0, 0.0, True))
+        batches = buf.minibatch_indices(3, np.random.default_rng(0))
+        flat = np.sort(np.concatenate(batches))
+        np.testing.assert_array_equal(flat, np.arange(10))
+
+    def test_clear(self):
+        buf = RolloutBuffer()
+        buf.add(self._tr(0.0, 0.0, True))
+        buf.compute_gae()
+        buf.clear()
+        assert len(buf) == 0 and buf.advantages is None
+
+
+class TestPPO:
+    def test_update_moves_policy_toward_high_reward_actions(self):
+        policy = ActorCriticPolicy(FEATURE_DIM, seed=0)
+        state = _graph_state()
+        opt = Adam(list(policy.named_parameters()), lr=5e-3)
+        cfg = PPOConfig(update_epochs=3, minibatch_size=8)
+        rng = np.random.default_rng(0)
+        # Synthetic bandit: reward = +1 when mean raw action > 0, else -1.
+        mu_before = policy(state)[0].data.mean()
+        for _ in range(8):
+            buf = RolloutBuffer(gamma=cfg.gamma, gae_lambda=cfg.gae_lambda)
+            for _ in range(16):
+                action, logp, value = policy.act(state, rng)
+                reward = 1.0 if action.mean() > 0 else -1.0
+                buf.add(Transition(state, action, logp, value, reward, True))
+            ppo_update(policy, buf, opt, cfg, rng)
+        mu_after = policy(state)[0].data.mean()
+        assert mu_after > mu_before
+
+    def test_empty_buffer_noop(self):
+        policy = ActorCriticPolicy(FEATURE_DIM, seed=0)
+        opt = Adam(list(policy.named_parameters()))
+        diag = ppo_update(policy, RolloutBuffer(), opt, PPOConfig(),
+                          np.random.default_rng(0))
+        assert diag["policy_loss"] == 0.0
+
+
+class TestEnv:
+    def test_reset_state(self, trained_setup):
+        model, _, val = trained_setup
+        env = PruningEnv(model, val, flops_target=0.7)
+        state = env.reset()
+        assert state.n_actions == env.n_actions == 9
+        assert env.current_flops_ratio() == pytest.approx(1.0)
+
+    def test_step_reduces_flops(self, trained_setup):
+        model, _, val = trained_setup
+        env = PruningEnv(model, val, flops_target=0.1, max_steps=3)
+        env.reset()
+        _, _, _, info = env.step(np.zeros(env.n_actions))  # sigmoid(0)=s_max/2
+        assert info["flops_ratio"] < 1.0
+
+    def test_terminates_on_target(self, trained_setup):
+        model, _, val = trained_setup
+        env = PruningEnv(model, val, flops_target=0.9, max_steps=5)
+        env.reset()
+        _, reward, done, info = env.step(np.full(env.n_actions, 5.0))
+        assert done
+        assert "accuracy" in info
+        assert 0.0 <= info["accuracy"] <= 1.0
+
+    def test_max_steps_truncation_with_penalty(self, trained_setup):
+        model, _, val = trained_setup
+        env = PruningEnv(model, val, flops_target=0.01, max_steps=2,
+                         s_max=0.1)
+        env.reset()
+        _, r1, d1, _ = env.step(np.full(env.n_actions, -10.0))
+        assert not d1 and r1 == 0.0
+        _, r2, d2, info = env.step(np.full(env.n_actions, -10.0))
+        assert d2
+        assert r2 < info["accuracy"]  # gap penalty applied
+
+    def test_action_length_checked(self, trained_setup):
+        model, _, val = trained_setup
+        env = PruningEnv(model, val)
+        env.reset()
+        with pytest.raises(ValueError):
+            env.step(np.zeros(3))
+
+    def test_invalid_target_rejected(self, trained_setup):
+        model, _, val = trained_setup
+        with pytest.raises(ValueError):
+            PruningEnv(model, val, flops_target=0.0)
+
+    def test_sigmoid_squash_bounds(self, trained_setup):
+        model, _, val = trained_setup
+        env = PruningEnv(model, val, s_max=0.6)
+        s = env.action_to_sparsity(np.asarray([-100.0, 0.0, 100.0]))
+        np.testing.assert_allclose(s, [0.0, 0.3, 0.6], atol=1e-6)
+
+    def test_masks_cleared_after_reward_eval(self, trained_setup):
+        model, _, val = trained_setup
+        env = PruningEnv(model, val, flops_target=0.9)
+        env.reset()
+        env.step(np.full(env.n_actions, 5.0))
+        assert not model.encoder._channel_masks
+
+
+class TestAgent:
+    def test_pretrain_returns_history(self, trained_setup):
+        model, train, val = trained_setup
+        agent, hist = pretrain_agent(model, train, val, updates=2,
+                                     episodes_per_update=2,
+                                     flops_target=0.8, seed=0)
+        assert len(hist) == 2
+        assert all(np.isfinite(h) for h in hist)
+
+    def test_propose_deterministic(self, trained_setup):
+        model, _, val = trained_setup
+        agent = SalientParameterAgent(seed=0)
+        s1, i1 = agent.propose(model, val, flops_target=0.7)
+        s2, i2 = agent.propose(model, val, flops_target=0.7)
+        assert s1.keep == s2.keep
+        assert i1["flops_ratio"] <= 0.7 + 1e-6
+
+    def test_finetune_freezes_gnn(self, trained_setup):
+        model, _, val = trained_setup
+        agent = SalientParameterAgent(seed=0)
+        gnn_before = {n: p.data.copy()
+                      for n, p in agent.policy.named_parameters()
+                      if n.startswith("gnn.")}
+        head_before = {n: p.data.copy()
+                       for n, p in agent.policy.named_parameters()
+                       if n.startswith("actor_head.")}
+        agent.finetune(model, val, updates=2, episodes_per_update=2,
+                       flops_target=0.8)
+        for n, p in agent.policy.named_parameters():
+            if n.startswith("gnn."):
+                np.testing.assert_array_equal(p.data, gnn_before[n],
+                                              err_msg=n)
+        changed = any(not np.array_equal(p.data, head_before[n])
+                      for n, p in agent.policy.named_parameters()
+                      if n.startswith("actor_head."))
+        assert changed
+
+    def test_clone_is_independent(self):
+        agent = SalientParameterAgent(seed=0)
+        clone = agent.clone()
+        first = next(iter(clone.policy.parameters()))
+        first.data += 100.0
+        orig_first = next(iter(agent.policy.parameters()))
+        assert not np.array_equal(first.data, orig_first.data)
+
+    def test_state_dict_roundtrip(self):
+        a = SalientParameterAgent(seed=0)
+        b = SalientParameterAgent(seed=1)
+        b.load_state_dict(a.state_dict())
+        for (n, pa), (_, pb) in zip(a.policy.named_parameters(),
+                                    b.policy.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data, err_msg=n)
+
+
+class TestPPOStabilisers:
+    def _setup(self):
+        policy = ActorCriticPolicy(FEATURE_DIM, seed=0)
+        state = _graph_state()
+        opt = Adam(list(policy.named_parameters()), lr=5e-3)
+        rng = np.random.default_rng(0)
+        buf = RolloutBuffer()
+        for _ in range(12):
+            action, logp, value = policy.act(state, rng)
+            buf.add(Transition(state, action, logp, value,
+                               float(action.mean() > 0), True))
+        return policy, opt, buf, rng
+
+    def test_value_clipping_changes_loss_path(self):
+        policy, opt, buf, rng = self._setup()
+        cfg_clip = PPOConfig(update_epochs=1, value_clip_eps=0.01,
+                             target_kl=None)
+        diag = ppo_update(policy, buf, opt, cfg_clip, rng)
+        assert np.isfinite(diag["value_loss"])
+
+    def test_target_kl_stops_early(self):
+        policy, opt, buf, rng = self._setup()
+        # absurdly small target: the very first minibatch may exceed it
+        cfg = PPOConfig(update_epochs=8, minibatch_size=4, target_kl=1e-12,
+                        lr=0.05)
+        diag_small = ppo_update(policy, buf, opt, cfg, rng)
+        # with no KL guard, many more minibatch updates are recorded
+        policy2, opt2, buf2, rng2 = self._setup()
+        cfg_off = PPOConfig(update_epochs=8, minibatch_size=4,
+                            target_kl=None, lr=0.05)
+        # count updates via approx_kl entries
+        import repro.rl.ppo as ppo_mod
+        d1 = diag_small
+        d2 = ppo_update(policy2, buf2, opt2, cfg_off, rng2)
+        assert np.isfinite(d1["approx_kl"])
+        assert np.isfinite(d2["approx_kl"])
+
+    def test_disabled_stabilisers_still_work(self):
+        policy, opt, buf, rng = self._setup()
+        cfg = PPOConfig(update_epochs=2, value_clip_eps=None, target_kl=None)
+        diag = ppo_update(policy, buf, opt, cfg, rng)
+        assert np.isfinite(diag["policy_loss"])

@@ -1,0 +1,117 @@
+"""Unit tests: the backward machinery itself (graph, accumulation, modes)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, is_grad_enabled, no_grad
+
+
+def _t(arr):
+    return Tensor(np.asarray(arr, dtype=np.float64), requires_grad=True,
+                  dtype=np.float64)
+
+
+class TestBackwardBasics:
+    def test_scalar_backward_default_seed(self):
+        x = _t(3.0)
+        (x * x).backward()
+        np.testing.assert_allclose(x.grad, 6.0)
+
+    def test_nonscalar_requires_seed(self):
+        x = _t([1.0, 2.0])
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_seed_shape_checked(self):
+        x = _t([1.0, 2.0])
+        with pytest.raises(ValueError):
+            (x * 2).backward(np.ones(3))
+
+    def test_diamond_graph_accumulates(self):
+        # y = x*x + x*x: grad must be 4x, requiring accumulation through
+        # the shared node.
+        x = _t(2.0)
+        a = x * x
+        (a + a).backward()
+        np.testing.assert_allclose(x.grad, 8.0)
+
+    def test_reused_leaf_accumulates(self):
+        x = _t([1.0, 2.0])
+        (x.sum() + (x * 3).sum()).backward()
+        np.testing.assert_allclose(x.grad, [4.0, 4.0])
+
+    def test_grad_accumulates_across_backwards(self):
+        x = _t(1.0)
+        (x * 2).backward()
+        (x * 3).backward()
+        np.testing.assert_allclose(x.grad, 5.0)
+
+    def test_zero_grad(self):
+        x = _t(1.0)
+        (x * 2).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_deep_chain_no_recursion_error(self):
+        x = _t(1.0)
+        y = x
+        for _ in range(3000):
+            y = y * 1.0001
+        y.backward()
+        assert x.grad is not None and np.isfinite(x.grad)
+
+    def test_intermediate_grads_released(self):
+        x = _t([1.0, 2.0])
+        mid = x * 2
+        mid.sum().backward()
+        # non-leaf grads are freed after use (PyTorch-like behaviour)
+        assert mid.grad is None
+        assert x.grad is not None
+
+
+class TestGradMode:
+    def test_no_grad_blocks_graph(self):
+        x = _t([1.0])
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+        assert y._backward is None
+
+    def test_no_grad_nested_restores(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_requires_grad_suppressed_inside_no_grad(self):
+        with no_grad():
+            t = Tensor([1.0], requires_grad=True)
+        assert not t.requires_grad
+
+    def test_detach_cuts_graph(self):
+        x = _t([2.0])
+        y = (x * 3).detach() * 2
+        assert not y.requires_grad
+
+
+class TestDtypes:
+    def test_default_float32(self):
+        assert Tensor([1.0, 2.0]).dtype == np.float32
+
+    def test_float64_preserved_when_requested(self):
+        assert Tensor([1.0], dtype=np.float64).dtype == np.float64
+
+    def test_int_array_allowed(self):
+        t = Tensor(np.arange(3))
+        assert t.dtype.kind in "iu"
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            Tensor(np.asarray(["a", "b"], dtype=object))
+
+    def test_astype(self):
+        t = Tensor([1.0], dtype=np.float32).astype(np.float64)
+        assert t.dtype == np.float64

@@ -1,0 +1,126 @@
+"""Unit tests: RNG trees, metrics, logging."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (EarlyStopper, ExperimentLog, RunningAverage,
+                         best_smoothed, render_table, rounds_to_target,
+                         seed_tree, spawn_rng)
+
+
+class TestRngTree:
+    def test_same_path_same_stream(self):
+        a = spawn_rng(42, "client", 3).random(5)
+        b = spawn_rng(42, "client", 3).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_paths_differ(self):
+        a = spawn_rng(42, "client", 3).random(5)
+        b = spawn_rng(42, "client", 4).random(5)
+        c = spawn_rng(43, "client", 3).random(5)
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_string_labels_hash_stably(self):
+        a = spawn_rng(0, "dropout").random(3)
+        b = spawn_rng(0, "dropout").random(3)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, spawn_rng(0, "sampling").random(3))
+
+    def test_seed_tree_returns_seed_sequence(self):
+        ss = seed_tree(1, "x")
+        assert isinstance(ss, np.random.SeedSequence)
+
+
+class TestRunningAverage:
+    def test_weighted(self):
+        avg = RunningAverage()
+        avg.update(1.0, weight=1)
+        avg.update(4.0, weight=3)
+        assert avg.value == pytest.approx(3.25)
+
+    def test_empty_is_nan(self):
+        assert np.isnan(RunningAverage().value)
+
+    def test_reset(self):
+        avg = RunningAverage()
+        avg.update(5.0)
+        avg.reset()
+        assert np.isnan(avg.value)
+
+
+class TestEarlyStopper:
+    def test_stops_after_patience(self):
+        es = EarlyStopper(patience=3, min_delta=0.0)
+        assert not es.update(0.5)
+        assert not es.update(0.4)
+        assert not es.update(0.4)
+        assert es.update(0.4)
+        assert es.converged
+
+    def test_improvement_resets(self):
+        es = EarlyStopper(patience=2, min_delta=0.01)
+        es.update(0.5)
+        es.update(0.4)
+        es.update(0.6)  # improvement
+        assert es.num_bad == 0
+        assert es.best == pytest.approx(0.6)
+
+    def test_min_mode(self):
+        es = EarlyStopper(patience=2, mode="min")
+        es.update(1.0)
+        es.update(0.5)
+        assert es.best == pytest.approx(0.5)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            EarlyStopper(mode="sideways")
+
+
+class TestSeriesMetrics:
+    def test_best_smoothed(self):
+        series = [0.1, 0.9, 0.1, 0.1, 0.1]  # single spike smooths away
+        assert best_smoothed(series, window=3) < 0.9
+        assert best_smoothed([], window=3) != best_smoothed([1.0])
+
+    def test_best_smoothed_short_series(self):
+        assert best_smoothed([0.2, 0.4], window=5) == pytest.approx(0.3)
+
+    def test_rounds_to_target(self):
+        assert rounds_to_target([0.1, 0.3, 0.7], 0.5) == 3
+        assert rounds_to_target([0.1, 0.2], 0.5) is None
+        assert rounds_to_target([0.9], 0.5) == 1
+
+
+class TestExperimentLog:
+    def test_series_accumulate(self):
+        log = ExperimentLog("t")
+        log.log(acc=0.5, loss=1.0)
+        log.log(acc=0.6)
+        assert log["acc"] == [0.5, 0.6]
+        assert log.last("loss") == 1.0
+        assert "acc" in log
+
+    def test_last_default(self):
+        assert np.isnan(ExperimentLog().last("nothing"))
+
+    def test_json_roundtrip(self):
+        log = ExperimentLog("t")
+        log.meta["x"] = 3
+        log.log(acc=0.5)
+        back = ExperimentLog.from_json(log.to_json())
+        assert back.name == "t"
+        assert back.meta["x"] == 3
+        assert back["acc"] == [0.5]
+
+
+class TestRenderTable:
+    def test_renders_aligned(self):
+        out = render_table(["a", "bb"], [[1, 2.53219], ["xx", "y"]],
+                           title="T")
+        lines = out.split("\n")
+        assert lines[0] == "T"
+        assert "2.532" in out
+        # all rows same width
+        widths = {len(l) for l in lines[1:]}
+        assert len(widths) == 1
