@@ -1,0 +1,55 @@
+"""Fault tolerance: accuracy degradation vs injected failure rate.
+
+The paper's setting is unreliable edge clients, so this benchmark runs
+the full federated loop under a seeded fault model (client drops +
+payload corruption through the checksummed codec) and records how much
+accuracy each method family loses relative to its own fault-free run.
+Shape checks (generous margins):
+
+- every run completes all rounds without an exception, even at a 30%
+  per-attempt drop rate;
+- the fault-free column reports zero fault events;
+- at 30% drops the fault counters are nonzero (injection actually fired)
+  and retried payloads are visible as extra communicated bytes;
+- degradation stays bounded: within 20 accuracy points of fault-free at
+  this scale (the acceptance bar in tests is 10 points at a fixed seed;
+  the benchmark margin is looser because the scale knob varies).
+"""
+
+import json
+
+from benchmarks.conftest import bench_config
+from repro.experiments.fault_tolerance import (fault_degradation_curve,
+                                               render_fault_table)
+
+RATES = (0.0, 0.3)
+METHODS = ("fedavg", "spatl")
+
+
+def test_fault_degradation(once, benchmark):
+    cfg = bench_config(n_clients=8, sample_ratio=0.75, rounds=6,
+                       min_clients=2)
+    results = once(fault_degradation_curve, cfg, RATES, METHODS,
+                   0.05, cfg.rounds)
+    print("\n" + render_fault_table(results))
+
+    benchmark.extra_info["rows"] = json.dumps(
+        {m: {str(p): [round(r["final_acc"], 4), r["n_dropped"],
+                      r["n_retries"], r["n_corrupt"], r["n_resamples"],
+                      round(r["total_gb"], 6)]
+             for p, r in per_rate.items()} for m, per_rate in results.items()})
+
+    for method in METHODS:
+        clean = results[method][0.0]
+        faulty = results[method][0.3]
+        # all rounds completed under both regimes
+        assert clean["rounds_run"] == cfg.rounds
+        assert faulty["rounds_run"] == cfg.rounds
+        # fault-free column is genuinely fault-free
+        assert clean["n_dropped"] == 0 and clean["n_corrupt"] == 0
+        assert clean["n_retries"] == 0
+        # injection fired at 30% and corrupted payloads were detected
+        assert faulty["n_dropped"] > 0
+        assert faulty["n_corrupt"] > 0 or faulty["n_retries"] > 0
+        # bounded degradation (generous: 20 points at variable scale)
+        assert clean["final_acc"] - faulty["final_acc"] <= 0.20

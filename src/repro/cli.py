@@ -20,10 +20,12 @@ import sys
 
 from repro.experiments import (ablation_gradient_control, ablation_selection,
                                ablation_transfer, config_for,
+                               fault_degradation_curve,
                                inference_acceleration_table,
                                learning_efficiency_curves,
                                local_accuracy_figure,
-                               pruning_comparison_table, rl_finetune_figure,
+                               pruning_comparison_table, render_fault_table,
+                               rl_finetune_figure,
                                rounds_to_target_figure, table1_target_cost,
                                table2_convergence, transferability_table)
 from repro.experiments.communication import render_cost_table
@@ -34,7 +36,16 @@ from repro.experiments.pruning_compare import render_pruning_table
 
 def _cfg(args, **extra):
     overrides = dict(model=args.model, n_clients=args.clients,
-                     sample_ratio=args.sample_ratio, seed=args.seed)
+                     sample_ratio=args.sample_ratio, seed=args.seed,
+                     fault_drop_prob=args.fault_drop,
+                     fault_corrupt_prob=args.fault_corrupt,
+                     fault_straggler_prob=args.fault_straggler,
+                     fault_slowdown=args.fault_slowdown,
+                     fault_timeout=args.fault_timeout,
+                     fault_crash_prob=args.fault_crash,
+                     fault_retries=args.fault_retries,
+                     fault_seed=args.fault_seed,
+                     min_clients=args.min_clients)
     if args.rounds:
         overrides["rounds"] = args.rounds
     overrides.update(extra)
@@ -113,6 +124,15 @@ def cmd_ablation_gradctl(args) -> None:
     _print_ablation(ablation_gradient_control(_cfg(args, sample_ratio=0.5)))
 
 
+def cmd_fault_tolerance(args) -> None:
+    """Degradation experiment: accuracy vs injected failure rate."""
+    cfg = _cfg(args)
+    rates = tuple(args.fault_rates) if args.fault_rates else (0.0, 0.1, 0.3)
+    results = fault_degradation_curve(cfg, drop_probs=rates,
+                                      corrupt_prob=args.fault_corrupt or 0.02)
+    print(render_fault_table(results))
+
+
 def cmd_rl_finetune(args) -> None:
     """Fig. 6: agent pretrain/finetune rewards."""
     cfg = _cfg(args, model="resnet56")
@@ -141,6 +161,7 @@ COMMANDS = {
     "ablation-transfer": cmd_ablation_transfer,
     "ablation-gradctl": cmd_ablation_gradctl,
     "rl-finetune": cmd_rl_finetune,
+    "fault-tolerance": cmd_fault_tolerance,
 }
 
 
@@ -158,6 +179,30 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--target", type=float, default=0.6)
     parser.add_argument("--patience", type=int, default=5)
+    faults = parser.add_argument_group(
+        "fault injection",
+        "Seeded failure simulation; all defaults leave the fault path off "
+        "entirely (runs stay byte-identical to the fault-free protocol).")
+    faults.add_argument("--fault-drop", type=float, default=0.0,
+                        help="per-attempt client drop probability")
+    faults.add_argument("--fault-corrupt", type=float, default=0.0,
+                        help="per-transfer bit-corruption probability")
+    faults.add_argument("--fault-straggler", type=float, default=0.0,
+                        help="per-attempt straggler probability")
+    faults.add_argument("--fault-slowdown", type=float, default=4.0,
+                        help="max straggler slowdown factor")
+    faults.add_argument("--fault-timeout", type=float, default=None,
+                        help="server deadline in epoch-units (off by default)")
+    faults.add_argument("--fault-crash", type=float, default=0.0,
+                        help="mid-training crash probability")
+    faults.add_argument("--fault-retries", type=int, default=2,
+                        help="extra attempts per client before dropping it")
+    faults.add_argument("--fault-seed", type=int, default=None,
+                        help="fault RNG seed (defaults to --seed)")
+    faults.add_argument("--min-clients", type=int, default=1,
+                        help="quorum: min surviving updates to commit a round")
+    faults.add_argument("--fault-rates", type=float, nargs="+", default=None,
+                        help="drop rates swept by the fault-tolerance command")
     return parser
 
 

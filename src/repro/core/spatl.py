@@ -171,6 +171,13 @@ class SPATL(FederatedAlgorithm):
         return payload
 
     def aggregate(self, updates: list[dict], round_idx: int) -> None:
+        # Survivor correctness under dropout: Eq. 11 below already sums
+        # variate deltas over the updates it receives (survivors only) and
+        # normalises by n_all — precisely (|S|/N)*mean with |S| = survivors
+        # — so a dropped client leaves c_global untouched for its share.
+        if not updates:
+            raise ValueError("aggregate() needs >= 1 surviving update; "
+                             "skipped rounds must not reach aggregation")
         encoder_params = dict(self.global_model.encoder.named_parameters())
         n_all = len(self.clients)
 

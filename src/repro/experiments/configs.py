@@ -16,6 +16,7 @@ code produces every scale.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from typing import Callable
 
@@ -24,7 +25,8 @@ import numpy as np
 from repro.core import SPATL, RLSelectionPolicy, StaticSaliencyPolicy
 from repro.data import (SyntheticCIFAR10, SyntheticFEMNIST, by_writer_partition,
                         dirichlet_partition)
-from repro.fl import ALGORITHMS, Client, make_federated_clients
+from repro.fl import (ALGORITHMS, Client, FaultModel, RetryPolicy,
+                      make_federated_clients)
 from repro.models import build_model
 from repro.rl import SalientParameterAgent
 
@@ -52,9 +54,25 @@ class ExperimentConfig:
     selection_sparsity: float = 0.3
     flops_target: float = 0.75
     use_rl_policy: bool = False    # RL agent (True) vs static saliency policy
+    # Fault-injection knobs (all zero => fault path disabled entirely, so
+    # default runs stay byte-identical to the fault-free protocol).
+    fault_drop_prob: float = 0.0
+    fault_corrupt_prob: float = 0.0
+    fault_straggler_prob: float = 0.0
+    fault_slowdown: float = 4.0
+    fault_timeout: float | None = None   # server deadline in epoch-units
+    fault_crash_prob: float = 0.0
+    fault_retries: int = 2
+    fault_seed: int | None = None        # defaults to `seed` when faults on
+    min_clients: int = 1                 # round-commit quorum
 
     def scaled(self, **overrides) -> "ExperimentConfig":
         return replace(self, **overrides)
+
+    @property
+    def faults_enabled(self) -> bool:
+        return (self.fault_drop_prob > 0 or self.fault_corrupt_prob > 0
+                or self.fault_crash_prob > 0 or self.fault_timeout is not None)
 
 
 SCALES: dict[str, dict] = {
@@ -108,6 +126,21 @@ def make_setting(cfg: ExperimentConfig) -> tuple[Callable, list[Client]]:
     return model_fn, clients
 
 
+def make_fault_model(cfg: ExperimentConfig) -> FaultModel | None:
+    """Config's fault model, or ``None`` when fault injection is off."""
+    if not cfg.faults_enabled:
+        return None
+    return FaultModel(
+        drop_prob=cfg.fault_drop_prob,
+        straggler_prob=cfg.fault_straggler_prob,
+        slowdown=cfg.fault_slowdown,
+        timeout=math.inf if cfg.fault_timeout is None else cfg.fault_timeout,
+        corrupt_prob=cfg.fault_corrupt_prob,
+        crash_prob=cfg.fault_crash_prob,
+        seed=cfg.seed if cfg.fault_seed is None else cfg.fault_seed,
+    )
+
+
 def make_spatl_policy(cfg: ExperimentConfig,
                       pretrained: SalientParameterAgent | None = None):
     """SPATL's selection policy per config: RL agent or static saliency."""
@@ -129,6 +162,11 @@ def make_algorithm(name: str, cfg: ExperimentConfig, model_fn, clients,
     common = dict(lr=cfg.lr, local_epochs=cfg.local_epochs,
                   sample_ratio=cfg.sample_ratio, momentum=cfg.momentum,
                   seed=cfg.seed)
+    fault_model = make_fault_model(cfg)
+    if fault_model is not None:
+        common.update(fault_model=fault_model,
+                      retry_policy=RetryPolicy(max_retries=cfg.fault_retries),
+                      min_clients=cfg.min_clients)
     common.update(overrides)
     if name == "spatl":
         policy = common.pop("selection_policy", None) or \

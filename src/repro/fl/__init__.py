@@ -13,9 +13,14 @@ Every byte that crosses the (simulated) network passes through
 estimated.
 """
 
-from repro.fl.comm import (CommLedger, payload_nbytes, serialize_state,
-                           deserialize_state, sparse_payload_nbytes,
-                           quantize_state, dequantize_state)
+from repro.fl.comm import (CommLedger, PayloadError, payload_nbytes,
+                           serialize_state, deserialize_state,
+                           sparse_payload_nbytes, quantize_state,
+                           dequantize_state)
+from repro.fl.resilience import (ClientCrashed, ClientDropped, ClientFailure,
+                                 FaultStats, RetryPolicy, StragglerTimeout,
+                                 TransferCorrupted)
+from repro.fl.faults import FaultModel, FaultyTransport
 from repro.fl.client import Client, make_federated_clients
 from repro.fl.base import FederatedAlgorithm, RoundResult, sample_clients
 from repro.fl.fedavg import FedAvg
@@ -33,9 +38,12 @@ ALGORITHMS = {
 }
 
 __all__ = [
-    "CommLedger", "payload_nbytes", "serialize_state", "deserialize_state",
-    "sparse_payload_nbytes", "Client", "make_federated_clients",
-    "FederatedAlgorithm", "RoundResult", "sample_clients",
-    "FedAvg", "FedProx", "FedNova", "Scaffold", "FedTopK", "ALGORITHMS",
-    "quantize_state", "dequantize_state",
+    "CommLedger", "PayloadError", "payload_nbytes", "serialize_state",
+    "deserialize_state", "sparse_payload_nbytes", "Client",
+    "make_federated_clients", "FederatedAlgorithm", "RoundResult",
+    "sample_clients", "FedAvg", "FedProx", "FedNova", "Scaffold", "FedTopK",
+    "ALGORITHMS", "quantize_state", "dequantize_state",
+    "FaultModel", "FaultyTransport", "RetryPolicy", "FaultStats",
+    "ClientFailure", "ClientDropped", "ClientCrashed", "StragglerTimeout",
+    "TransferCorrupted",
 ]

@@ -26,6 +26,9 @@ import numpy as np
 
 from repro.fl.client import Client
 from repro.fl.comm import CommLedger, payload_nbytes
+from repro.fl.faults import FaultModel, FaultyTransport
+from repro.fl.resilience import (ClientCrashed, ClientFailure, FaultStats,
+                                 RetryPolicy, TransferCorrupted)
 from repro.models.split import SplitModel
 from repro.utils.logging import ExperimentLog
 from repro.utils.metrics import EarlyStopper
@@ -33,13 +36,21 @@ from repro.utils.rng import spawn_rng
 
 
 def sample_clients(clients: Sequence[Client], sample_ratio: float, seed: int,
-                   round_idx: int) -> list[Client]:
-    """Uniformly sample ``ceil(ratio * n)`` distinct clients for a round."""
+                   round_idx: int, salt: int = 0) -> list[Client]:
+    """Uniformly sample ``ceil(ratio * n)`` distinct clients for a round.
+
+    ``salt`` re-salts the draw when a quorum-failed round is re-sampled;
+    ``salt=0`` reproduces the original (pre-fault-tolerance) stream
+    exactly.
+    """
     if not 0.0 < sample_ratio <= 1.0:
         raise ValueError("sample_ratio must be in (0, 1]")
     n = len(clients)
     k = max(1, int(np.ceil(sample_ratio * n)))
-    rng = spawn_rng(seed, "sampling", round_idx)
+    if salt:
+        rng = spawn_rng(seed, "sampling", round_idx, "resample", salt)
+    else:
+        rng = spawn_rng(seed, "sampling", round_idx)
     chosen = rng.choice(n, size=k, replace=False)
     return [clients[i] for i in sorted(chosen)]
 
@@ -53,6 +64,12 @@ class RoundResult:
     avg_val_acc: float
     n_participants: int
     round_bytes: int
+    # Fault-tolerance accounting (all zero on the fault-free path).
+    n_dropped: int = 0
+    n_retries: int = 0
+    n_corrupt: int = 0
+    n_resamples: int = 0
+    committed: bool = True
 
 
 class FederatedAlgorithm:
@@ -64,7 +81,10 @@ class FederatedAlgorithm:
                  lr: float = 0.01, local_epochs: int | tuple[int, int] = 10,
                  sample_ratio: float = 1.0,
                  momentum: float = 0.9, weight_decay: float = 0.0,
-                 max_grad_norm: float | None = None, seed: int = 0):
+                 max_grad_norm: float | None = None, seed: int = 0,
+                 fault_model: FaultModel | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 min_clients: int = 1, max_round_resamples: int = 3):
         self.model_fn = model_fn
         self.clients = list(clients)
         if not self.clients:
@@ -87,6 +107,19 @@ class FederatedAlgorithm:
         self.global_model: SplitModel = model_fn()
         self.ledger = CommLedger()
         self.rounds_completed = 0
+        # Fault tolerance is strictly opt-in: without a fault model the
+        # round loop takes the original (byte-identical) code path.
+        if min_clients < 1:
+            raise ValueError("min_clients must be >= 1")
+        if max_round_resamples < 0:
+            raise ValueError("max_round_resamples must be >= 0")
+        self.fault_model = fault_model
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.min_clients = min_clients
+        self.max_round_resamples = max_round_resamples
+        self.transport = (FaultyTransport(fault_model, self.ledger)
+                          if fault_model is not None else None)
+        self.fault_stats = FaultStats()  # cumulative over the whole run
 
     def epochs_for(self, client: Client, round_idx: int) -> int:
         """Local epochs this client runs this round.
@@ -119,26 +152,111 @@ class FederatedAlgorithm:
 
     # ------------------------------------------------------------ loop
     def run_round(self, round_idx: int) -> RoundResult:
-        selected = sample_clients(self.clients, self.sample_ratio, self.seed,
-                                  round_idx)
-        updates = []
-        losses = []
+        """One synchronous round with (opt-in) fault tolerance.
+
+        Without a fault model this is the original protocol: every
+        sampled client trains and uploads.  With one, each client gets
+        ``retry_policy.max_attempts`` tries; if fewer than
+        ``min_clients`` updates survive, the cohort is re-sampled with a
+        fresh seed salt up to ``max_round_resamples`` times, after which
+        the round is *skipped* (no aggregation — the global model is
+        untouched and the round index still advances).
+        """
+        stats = FaultStats()
+        quorum = max(1, self.min_clients)
+        salt = 0
+        while True:
+            selected = sample_clients(self.clients, self.sample_ratio,
+                                      self.seed, round_idx, salt=salt)
+            updates, losses = self._collect_updates(selected, round_idx,
+                                                    salt, stats)
+            if self.fault_model is None or len(updates) >= quorum:
+                break
+            if salt >= self.max_round_resamples:
+                break
+            salt += 1
+            stats.n_resamples += 1
+        committed = len(updates) >= quorum
+        if committed:
+            self.aggregate(updates, round_idx)
+        self.rounds_completed = round_idx + 1
+        self.fault_stats.merge(stats)
+        acc = self.evaluate_all()
+        avg_loss = float(np.nanmean(losses)) if losses else float("nan")
+        return RoundResult(round_idx, avg_loss, acc, len(updates),
+                           self.ledger.round_bytes(round_idx),
+                           n_dropped=stats.n_dropped,
+                           n_retries=stats.n_retries,
+                           n_corrupt=stats.n_corrupt,
+                           n_resamples=stats.n_resamples,
+                           committed=committed)
+
+    def _collect_updates(self, selected: Sequence[Client], round_idx: int,
+                         salt: int, stats: FaultStats):
+        """Gather surviving updates (and their losses) from a cohort."""
+        updates, losses = [], []
         for client in selected:
+            try:
+                update = self._client_exchange(client, round_idx, salt, stats)
+            except ClientFailure as failure:
+                stats.record_failure(failure)
+                continue
+            updates.append(update)
+            losses.append(update.get("train_loss", float("nan"))
+                          if isinstance(update, dict) else float("nan"))
+        return updates, losses
+
+    def _client_exchange(self, client: Client, round_idx: int, salt: int,
+                         stats: FaultStats) -> Any:
+        """Download → train → upload for one client, with retries.
+
+        The fault-free path is byte-identical to the original loop.  Under
+        a fault model, a completed local update is cached across attempts
+        — an upload corruption triggers a *retransmission*, never silent
+        retraining — and a mid-training crash rolls the client's
+        persistent state back to its pre-round snapshot before retrying.
+        """
+        if self.fault_model is None:
             down = self.download_payload(client)
             self.ledger.record_down(round_idx, client.client_id,
                                     payload_nbytes(down))
             update = self.local_update(client, round_idx)
-            updates.append(update)
-            losses.append(update.get("train_loss", float("nan"))
-                          if isinstance(update, dict) else float("nan"))
             up = self.upload_payload(update)
             self.ledger.record_up(round_idx, client.client_id,
                                   payload_nbytes(up))
-        self.aggregate(updates, round_idx)
-        self.rounds_completed = round_idx + 1
-        acc = self.evaluate_all()
-        return RoundResult(round_idx, float(np.nanmean(losses)), acc,
-                           len(selected), self.ledger.round_bytes(round_idx))
+            return update
+
+        fm = self.fault_model
+        cid = client.client_id
+        update = None
+        failure: ClientFailure | None = None
+        for attempt in range(self.retry_policy.max_attempts):
+            try:
+                if update is None:
+                    fm.check_available(round_idx, cid, salt, attempt)
+                    down = self.download_payload(client)
+                    self.transport.download(round_idx, cid, down, salt,
+                                            attempt)
+                    fm.check_straggler(round_idx, cid, salt, attempt,
+                                       self.epochs_for(client, round_idx))
+                    snapshot = client.snapshot_local_state()
+                    update = self.local_update(client, round_idx)
+                    try:
+                        fm.check_crash(round_idx, cid, salt, attempt)
+                    except ClientCrashed:
+                        client.restore_local_state(snapshot)
+                        update = None
+                        raise
+                up = self.upload_payload(update)
+                self.transport.upload(round_idx, cid, up, salt, attempt)
+                return update
+            except ClientFailure as err:
+                stats.record_attempt_failure(err)
+                failure = err
+            if attempt + 1 < self.retry_policy.max_attempts:
+                stats.n_retries += 1
+                stats.backoff_time += self.retry_policy.delay(attempt)
+        raise failure
 
     def evaluate_all(self) -> float:
         """Average local validation top-1 accuracy across *all* clients."""
@@ -167,17 +285,28 @@ class FederatedAlgorithm:
         stopper = EarlyStopper(patience=patience) if patience else None
         for r in range(self.rounds_completed, self.rounds_completed + rounds):
             result = self.run_round(r)
-            log.log(round=r, train_loss=result.avg_train_loss,
-                    val_acc=result.avg_val_acc,
-                    round_gb=result.round_bytes / 2 ** 30,
-                    total_gb=self.ledger.total_gb())
+            scalars = dict(round=r, train_loss=result.avg_train_loss,
+                           val_acc=result.avg_val_acc,
+                           round_gb=result.round_bytes / 2 ** 30,
+                           total_gb=self.ledger.total_gb())
+            if self.fault_model is not None:
+                scalars.update(n_dropped=result.n_dropped,
+                               n_retries=result.n_retries,
+                               n_corrupt=result.n_corrupt,
+                               n_resamples=result.n_resamples,
+                               committed=float(result.committed))
+            log.log(**scalars)
             if target_accuracy is not None and result.avg_val_acc >= target_accuracy:
                 log.meta["reached_target_at"] = r + 1
                 break
             if stopper is not None and stopper.update(result.avg_val_acc):
                 log.meta["converged_at"] = r + 1
                 break
-        log.meta.setdefault("rounds_run", self.rounds_completed)
+        # Always overwrite: a resumed run must report the *current* round
+        # count, not the stale pre-resume value a setdefault would keep.
+        log.meta["rounds_run"] = self.rounds_completed
         log.meta["total_gb"] = self.ledger.total_gb()
         log.meta["per_round_per_client_mb"] = self.ledger.per_round_per_client_mb()
+        if self.fault_model is not None:
+            log.meta["fault_totals"] = self.fault_stats.as_dict()
         return log

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core.gradient_control import ControlVariate
 from repro.fl.base import FederatedAlgorithm
+from repro.fl.resilience import FaultStats
 
 
 def _flatten(prefix: str, state: dict, out: dict[str, np.ndarray]) -> None:
@@ -56,6 +57,9 @@ def save_checkpoint(algo: FederatedAlgorithm, path: str | Path) -> None:
                 _flatten(f"client.{cid}.{key}.", value, arrays)
                 keys.append([key, "dict"])
         manifest["client_state_keys"][str(cid)] = keys
+    # cumulative fault-tolerance counters (resumed runs keep reporting the
+    # drops/retries/corruptions that happened before the crash)
+    manifest["fault_stats"] = algo.fault_stats.as_dict()
     # ledger
     manifest["ledger"] = {
         "uplink": {str(r): {str(c): n for c, n in d.items()}
@@ -108,6 +112,8 @@ def load_checkpoint(algo: FederatedAlgorithm, path: str | Path) -> None:
                 else:
                     client.local_state[key] = payload
         algo.rounds_completed = manifest["rounds_completed"]
+        algo.fault_stats = FaultStats.from_dict(
+            manifest.get("fault_stats", {}))
         algo.ledger.uplink.clear()
         algo.ledger.downlink.clear()
         for direction in ("uplink", "downlink"):

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
+
 import numpy as np
 
 from repro.data.dataloader import DataLoader
@@ -30,6 +32,16 @@ class Client:
     @property
     def num_train(self) -> int:
         return len(self.train_data)
+
+    def snapshot_local_state(self) -> dict:
+        """Deep copy of ``local_state`` — taken before local training so a
+        simulated mid-training crash can roll the client back to what a
+        restarted process would reload from disk."""
+        return copy.deepcopy(self.local_state)
+
+    def restore_local_state(self, snapshot: dict) -> None:
+        """Replace ``local_state`` with a snapshot (crash rollback)."""
+        self.local_state = snapshot
 
     def train_loader(self, round_idx: int) -> DataLoader:
         return DataLoader(self.train_data, batch_size=self.batch_size,

@@ -16,15 +16,42 @@ actually crosses the network.  This module provides:
 
 Wire format (little-endian): ``[u32 n_entries]`` then per entry
 ``[u16 name_len][name utf-8][u8 dtype_code][u8 ndim][u32 dims...]
-[raw array bytes]``.
+[raw array bytes]``.  With ``checksums=True`` each entry is followed by
+``[u32 crc32]`` over the whole entry record (header + raw bytes), so
+bit-flips anywhere in the entry — including its name and shape — are
+*detected* at deserialisation instead of silently skewing aggregation.
+The checksummed variant is what :class:`repro.fl.faults.FaultyTransport`
+puts on the (simulated) wire; the plain variant stays byte-identical to
+the original format so fault-free accounting is unchanged.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from collections import defaultdict
 
 import numpy as np
+
+
+class PayloadError(ValueError):
+    """A wire payload failed structural validation or checksum.
+
+    ``entry`` names the state-dict entry being decoded when the fault was
+    found (``None`` while reading the global header) and ``offset`` is the
+    byte offset at which decoding could not proceed.
+    """
+
+    def __init__(self, message: str, entry: str | None = None,
+                 offset: int | None = None):
+        detail = message
+        if entry is not None:
+            detail += f" (entry {entry!r})"
+        if offset is not None:
+            detail += f" (offset {offset})"
+        super().__init__(detail)
+        self.entry = entry
+        self.offset = offset
 
 _DTYPES = [np.dtype(np.float32), np.dtype(np.float64), np.dtype(np.int32),
            np.dtype(np.int64), np.dtype(np.uint8), np.dtype(bool),
@@ -32,42 +59,108 @@ _DTYPES = [np.dtype(np.float32), np.dtype(np.float64), np.dtype(np.int32),
 _DTYPE_CODE = {dt: i for i, dt in enumerate(_DTYPES)}
 
 
-def serialize_state(state: dict[str, np.ndarray]) -> bytes:
-    """Encode a flat state dict to bytes (deterministic, key-ordered)."""
+def serialize_state(state: dict[str, np.ndarray],
+                    checksums: bool = False) -> bytes:
+    """Encode a flat state dict to bytes (deterministic, key-ordered).
+
+    With ``checksums=True`` every entry record is followed by its CRC32,
+    making corruption detectable by :func:`deserialize_state`.
+    """
     parts = [struct.pack("<I", len(state))]
     for name in state:
         arr = np.ascontiguousarray(state[name])
+        if np.ndim(state[name]) == 0:
+            # ascontiguousarray promotes 0-d to 1-d; undo it so the wire
+            # shape (and payload_nbytes) match the caller's array exactly
+            arr = arr.reshape(())
         if arr.dtype not in _DTYPE_CODE:
             raise TypeError(f"unsupported dtype {arr.dtype} for {name!r}")
         raw_name = name.encode("utf-8")
-        parts.append(struct.pack("<H", len(raw_name)))
-        parts.append(raw_name)
-        parts.append(struct.pack("<BB", _DTYPE_CODE[arr.dtype], arr.ndim))
-        parts.append(struct.pack(f"<{arr.ndim}I", *arr.shape))
-        parts.append(arr.tobytes())
+        record = b"".join((
+            struct.pack("<H", len(raw_name)),
+            raw_name,
+            struct.pack("<BB", _DTYPE_CODE[arr.dtype], arr.ndim),
+            struct.pack(f"<{arr.ndim}I", *arr.shape),
+            arr.tobytes(),
+        ))
+        parts.append(record)
+        if checksums:
+            parts.append(struct.pack("<I", zlib.crc32(record)))
     return b"".join(parts)
 
 
-def deserialize_state(payload: bytes) -> dict[str, np.ndarray]:
-    """Decode bytes produced by :func:`serialize_state`."""
+def deserialize_state(payload: bytes,
+                      checksums: bool = False) -> dict[str, np.ndarray]:
+    """Decode bytes produced by :func:`serialize_state`.
+
+    Every offset is validated against ``len(payload)`` before it is read,
+    so truncated or bit-flipped payloads raise :class:`PayloadError`
+    naming the entry and offset instead of a bare ``struct.error`` or a
+    silent mis-slice.  With ``checksums=True`` each entry's CRC32 is
+    verified as well.
+    """
+    total = len(payload)
     out: dict[str, np.ndarray] = {}
     off = 0
+
+    def need(n: int, what: str, entry: str | None) -> None:
+        if off + n > total:
+            raise PayloadError(
+                f"truncated payload: need {n} byte(s) for {what}, "
+                f"have {total - off}", entry=entry, offset=off)
+
+    need(4, "entry count", None)
     (n_entries,) = struct.unpack_from("<I", payload, off)
     off += 4
-    for _ in range(n_entries):
+    for i in range(n_entries):
+        entry_label = f"#{i}"
+        record_start = off
+        need(2, "name length", entry_label)
         (name_len,) = struct.unpack_from("<H", payload, off)
         off += 2
-        name = payload[off:off + name_len].decode("utf-8")
+        need(name_len, "entry name", entry_label)
+        try:
+            name = payload[off:off + name_len].decode("utf-8")
+        except UnicodeDecodeError as err:
+            raise PayloadError(f"undecodable entry name: {err}",
+                               entry=entry_label, offset=off) from err
         off += name_len
+        need(2, "dtype/ndim header", name)
         code, ndim = struct.unpack_from("<BB", payload, off)
         off += 2
+        if code >= len(_DTYPES):
+            raise PayloadError(f"unknown dtype code {code}", entry=name,
+                               offset=off - 2)
+        if ndim > 32:  # numpy's own dimensionality ceiling
+            raise PayloadError(f"implausible ndim {ndim}", entry=name,
+                               offset=off - 1)
+        need(4 * ndim, "shape", name)
         shape = struct.unpack_from(f"<{ndim}I", payload, off)
         off += 4 * ndim
         dtype = _DTYPES[code]
-        nbytes = dtype.itemsize * int(np.prod(shape)) if ndim else dtype.itemsize
-        arr = np.frombuffer(payload[off:off + nbytes], dtype=dtype).reshape(shape)
+        n_items = 1
+        for dim in shape:
+            n_items *= int(dim)
+        nbytes = dtype.itemsize * n_items
+        need(nbytes, f"array data ({nbytes} bytes)", name)
+        arr = np.frombuffer(payload, dtype=dtype, count=n_items,
+                            offset=off).reshape(shape)
         off += nbytes
+        if checksums:
+            need(4, "entry checksum", name)
+            (stored,) = struct.unpack_from("<I", payload, off)
+            computed = zlib.crc32(payload[record_start:off])
+            off += 4
+            if stored != computed:
+                raise PayloadError(
+                    f"checksum mismatch: stored {stored:#010x}, "
+                    f"computed {computed:#010x}", entry=name,
+                    offset=off - 4)
         out[name] = arr.copy()
+    if off != total:
+        raise PayloadError(
+            f"{total - off} trailing byte(s) after final entry",
+            offset=off)
     return out
 
 
@@ -75,12 +168,15 @@ def _entry_overhead(name: str, ndim: int) -> int:
     return 2 + len(name.encode("utf-8")) + 2 + 4 * ndim
 
 
-def payload_nbytes(state: dict[str, np.ndarray]) -> int:
+def payload_nbytes(state: dict[str, np.ndarray],
+                   checksums: bool = False) -> int:
     """Exact wire size of a dense state dict (== len(serialize_state(state)))."""
     total = 4
     for name, arr in state.items():
         arr = np.asarray(arr)
         total += _entry_overhead(name, arr.ndim) + arr.nbytes
+        if checksums:
+            total += 4
     return total
 
 

@@ -1,0 +1,158 @@
+"""Deterministic fault injection for federated rounds.
+
+SPATL's target regime is heterogeneous, unreliable edge clients (§I,
+§IV), so the reproduction must be exercisable under the failure modes a
+real deployment sees: clients dropping offline, stragglers missing the
+server deadline, processes crashing mid-training, and payloads arriving
+bit-corrupted.  :class:`FaultModel` draws every fault from the repo's
+seeded RNG tree (:func:`repro.utils.rng.spawn_rng`), keyed by
+``(event, round, client, salt, attempt)`` — so a faulty run is exactly
+reproducible, and retries/re-samples see *fresh* draws rather than
+replaying the same failure forever.
+
+:class:`FaultyTransport` routes every download/upload through the real
+wire codec with per-entry CRC32 checksums (``repro.fl.comm``), flips
+bits in the serialized bytes per the fault model, and re-decodes on the
+receiving side.  Corruption is therefore *detected* by checksum and
+structural validation, not simulated by fiat, and every transmitted
+byte — including retransmissions — is charged to the
+:class:`~repro.fl.comm.CommLedger`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fl.comm import (CommLedger, PayloadError, deserialize_state,
+                           serialize_state)
+from repro.fl.resilience import (ClientCrashed, ClientDropped,
+                                 StragglerTimeout, TransferCorrupted)
+from repro.utils.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Seeded, per-(client, round, attempt) failure distribution.
+
+    All probabilities are per *attempt*, so a retry re-draws — a client
+    that was offline may be reachable a moment later.  ``timeout`` is the
+    server-side deadline in epoch-units of simulated work: a client's
+    round duration is ``local_epochs * slowdown_factor`` where the
+    slowdown factor is drawn uniformly from ``[1, slowdown]`` for
+    stragglers and 1 otherwise.
+    """
+
+    drop_prob: float = 0.0        # client unreachable for the attempt
+    straggler_prob: float = 0.0   # client runs slow this attempt
+    slowdown: float = 4.0         # max straggler slowdown factor
+    timeout: float = math.inf     # server deadline (epoch-units)
+    corrupt_prob: float = 0.0     # per-transfer bit-corruption probability
+    crash_prob: float = 0.0       # crash mid-training (state rolled back)
+    max_bit_flips: int = 4        # bits flipped per corrupted payload
+    seed: int = 0
+
+    def __post_init__(self):
+        for name in ("drop_prob", "straggler_prob", "corrupt_prob",
+                     "crash_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name}={p} not a probability")
+        if self.slowdown < 1.0:
+            raise ValueError("slowdown must be >= 1")
+        if self.max_bit_flips < 1:
+            raise ValueError("max_bit_flips must be >= 1")
+
+    # ------------------------------------------------------------ draws
+    def _rng(self, event: str, round_idx: int, client_id: int, salt: int,
+             attempt: int) -> np.random.Generator:
+        return spawn_rng(self.seed, "fault", event, round_idx, client_id,
+                         salt, attempt)
+
+    def check_available(self, round_idx: int, client_id: int, salt: int,
+                        attempt: int) -> None:
+        """Raise :class:`ClientDropped` if the client is offline."""
+        rng = self._rng("drop", round_idx, client_id, salt, attempt)
+        if rng.random() < self.drop_prob:
+            raise ClientDropped(client_id, round_idx,
+                                f"unreachable (attempt {attempt})")
+
+    def check_straggler(self, round_idx: int, client_id: int, salt: int,
+                        attempt: int, local_epochs: int) -> None:
+        """Raise :class:`StragglerTimeout` if simulated work misses the
+        server deadline."""
+        if math.isinf(self.timeout):
+            return
+        rng = self._rng("straggler", round_idx, client_id, salt, attempt)
+        factor = 1.0
+        if rng.random() < self.straggler_prob:
+            factor = 1.0 + rng.random() * (self.slowdown - 1.0)
+        duration = local_epochs * factor
+        if duration > self.timeout:
+            raise StragglerTimeout(client_id, round_idx, duration,
+                                   self.timeout)
+
+    def check_crash(self, round_idx: int, client_id: int, salt: int,
+                    attempt: int) -> None:
+        """Raise :class:`ClientCrashed` if the client dies mid-training."""
+        rng = self._rng("crash", round_idx, client_id, salt, attempt)
+        if rng.random() < self.crash_prob:
+            raise ClientCrashed(client_id, round_idx,
+                                f"crashed mid-training (attempt {attempt})")
+
+    def corrupt(self, blob: bytes, round_idx: int, client_id: int,
+                salt: int, attempt: int, direction: str) -> bytes:
+        """Return ``blob``, possibly with 1..``max_bit_flips`` bits flipped."""
+        rng = self._rng(f"corrupt.{direction}", round_idx, client_id, salt,
+                        attempt)
+        if rng.random() >= self.corrupt_prob or not blob:
+            return blob
+        buf = bytearray(blob)
+        n_flips = int(rng.integers(1, self.max_bit_flips + 1))
+        for pos in rng.integers(0, len(buf), size=n_flips):
+            buf[pos] ^= 1 << int(rng.integers(0, 8))
+        return bytes(buf)
+
+
+class FaultyTransport:
+    """Wire transport that serializes, maybe-corrupts, and re-decodes.
+
+    Both directions go through ``serialize_state(..., checksums=True)``;
+    the receiving side runs the validating decoder, so every corruption
+    surfaces as :class:`TransferCorrupted` (never a silent acceptance).
+    Bytes are charged to the ledger when they are *sent*, i.e. corrupted
+    and retried transfers cost real (simulated) bandwidth.
+    """
+
+    def __init__(self, fault_model: FaultModel, ledger: CommLedger):
+        self.fault_model = fault_model
+        self.ledger = ledger
+
+    def download(self, round_idx: int, client_id: int,
+                 state: dict[str, np.ndarray], salt: int = 0,
+                 attempt: int = 0) -> dict[str, np.ndarray]:
+        return self._transfer(round_idx, client_id, state, salt, attempt,
+                              "down")
+
+    def upload(self, round_idx: int, client_id: int,
+               state: dict[str, np.ndarray], salt: int = 0,
+               attempt: int = 0) -> dict[str, np.ndarray]:
+        return self._transfer(round_idx, client_id, state, salt, attempt,
+                              "up")
+
+    def _transfer(self, round_idx: int, client_id: int,
+                  state: dict[str, np.ndarray], salt: int, attempt: int,
+                  direction: str) -> dict[str, np.ndarray]:
+        blob = serialize_state(state, checksums=True)
+        record = (self.ledger.record_down if direction == "down"
+                  else self.ledger.record_up)
+        record(round_idx, client_id, len(blob))
+        wire = self.fault_model.corrupt(blob, round_idx, client_id, salt,
+                                        attempt, direction)
+        try:
+            return deserialize_state(wire, checksums=True)
+        except PayloadError as err:
+            raise TransferCorrupted(client_id, round_idx, direction,
+                                    err) from err

@@ -40,6 +40,13 @@ class FedAvg(FederatedAlgorithm):
         return update["state"]
 
     def aggregate(self, updates: list[dict], round_idx: int) -> None:
+        # Under fault tolerance only *surviving* clients reach this point;
+        # weights renormalise over survivors, which is exactly FedAvg under
+        # partial participation.  An empty round is the server loop's job
+        # to skip — aggregating nothing is a bug upstream.
+        if not updates:
+            raise ValueError("aggregate() needs >= 1 surviving update; "
+                             "skipped rounds must not reach aggregation")
         avg = weighted_average_states([u["state"] for u in updates],
                                       [u["n"] for u in updates])
         self.global_model.load_state_dict(avg)

@@ -80,6 +80,13 @@ class FedNova(FederatedAlgorithm):
         return payload
 
     def aggregate(self, updates: list[dict], round_idx: int) -> None:
+        # Survivor correctness under dropout: both the data weights p_i and
+        # the effective tau (sum_i p_i a_i) are computed over *surviving*
+        # clients only, so a dropped straggler cannot bias tau_eff with an
+        # effective-step count it never delivered.
+        if not updates:
+            raise ValueError("aggregate() needs >= 1 surviving update; "
+                             "skipped rounds must not reach aggregation")
         weights = np.asarray([u["n"] for u in updates], dtype=np.float64)
         p = weights / weights.sum()
         tau_eff = float(np.sum(p * [u["a_i"] for u in updates]))

@@ -1,0 +1,134 @@
+"""Fault-tolerance primitives for the federated round loop.
+
+Real FL deployments (the heterogeneous edge regime of §I/§IV) lose
+clients mid-round: devices go offline, stragglers blow past the server's
+deadline, and payloads arrive corrupted.  This module gives the server
+loop a typed vocabulary for those failures plus the two recovery
+mechanisms it applies:
+
+- :class:`RetryPolicy` — capped exponential backoff per client attempt
+  (the backoff delay is *simulated* time, accumulated in
+  :class:`FaultStats` rather than slept);
+- a quorum rule, enforced by ``FederatedAlgorithm.run_round``: a round
+  commits only when at least ``min_clients`` updates survive, otherwise
+  it is skipped and re-sampled with a fresh seed salt.
+
+The exception hierarchy is deliberately shallow so algorithms can catch
+:class:`ClientFailure` and stay agnostic to *why* a client was lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+class ClientFailure(RuntimeError):
+    """A client failed to deliver a usable update this attempt."""
+
+    def __init__(self, client_id: int, round_idx: int, reason: str):
+        super().__init__(
+            f"client {client_id} round {round_idx}: {reason}")
+        self.client_id = client_id
+        self.round_idx = round_idx
+        self.reason = reason
+
+
+class ClientDropped(ClientFailure):
+    """The client was unreachable (offline before/while participating)."""
+
+
+class ClientCrashed(ClientDropped):
+    """The client crashed mid-training; its persistent state is rolled
+    back to the pre-round snapshot, as a real restarted process would
+    reload it from disk."""
+
+
+class StragglerTimeout(ClientFailure):
+    """The client's simulated round duration exceeded the server deadline."""
+
+    def __init__(self, client_id: int, round_idx: int, duration: float,
+                 timeout: float):
+        super().__init__(client_id, round_idx,
+                         f"straggler took {duration:.2f} epoch-units "
+                         f"(> timeout {timeout:.2f})")
+        self.duration = duration
+        self.timeout = timeout
+
+
+class TransferCorrupted(ClientFailure):
+    """A payload failed checksum/structural validation after transfer."""
+
+    def __init__(self, client_id: int, round_idx: int, direction: str,
+                 cause: Exception):
+        super().__init__(client_id, round_idx,
+                         f"{direction}link payload corrupted: {cause}")
+        self.direction = direction
+        self.cause = cause
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff: ``delay(a) = min(base * factor^a, cap)``.
+
+    ``max_retries`` counts *extra* attempts after the first, so a client
+    gets ``max_retries + 1`` chances per round before it is declared
+    dropped.
+    """
+
+    max_retries: int = 2
+    base_delay: float = 0.5
+    backoff_factor: float = 2.0
+    max_delay: float = 8.0
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_delay < 0 or self.max_delay < 0 or self.backoff_factor <= 0:
+            raise ValueError("delays must be non-negative, factor positive")
+
+    @property
+    def max_attempts(self) -> int:
+        return self.max_retries + 1
+
+    def delay(self, attempt: int) -> float:
+        """Simulated seconds to wait after failed attempt ``attempt``."""
+        return min(self.base_delay * self.backoff_factor ** attempt,
+                   self.max_delay)
+
+
+@dataclass
+class FaultStats:
+    """Counters for one round (or, accumulated, for a whole run)."""
+
+    n_dropped: int = 0     # clients that exhausted all attempts
+    n_retries: int = 0     # extra attempts performed
+    n_corrupt: int = 0     # corrupted transfers detected (either direction)
+    n_timeouts: int = 0    # straggler deadline misses
+    n_crashes: int = 0     # mid-training crashes (state rolled back)
+    n_resamples: int = 0   # quorum-failed re-samples of the round cohort
+    backoff_time: float = 0.0  # simulated seconds spent backing off
+
+    def record_failure(self, failure: ClientFailure) -> None:
+        """A client permanently failed this round (post-retries)."""
+        self.n_dropped += 1
+
+    def record_attempt_failure(self, failure: ClientFailure) -> None:
+        """One attempt failed (may be retried)."""
+        if isinstance(failure, TransferCorrupted):
+            self.n_corrupt += 1
+        elif isinstance(failure, StragglerTimeout):
+            self.n_timeouts += 1
+        elif isinstance(failure, ClientCrashed):
+            self.n_crashes += 1
+
+    def merge(self, other: "FaultStats") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultStats":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})

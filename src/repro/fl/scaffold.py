@@ -90,6 +90,14 @@ class Scaffold(FederatedAlgorithm):
         return payload
 
     def aggregate(self, updates: list[dict], round_idx: int) -> None:
+        # Survivor correctness under dropout: the model step averages over
+        # the n_sel *surviving* deltas, while the variate step keeps the
+        # paper's (|S|/N) damping with |S| = survivors — i.e. the c update
+        # sums survivor variate deltas and normalises by N (= n_all), so a
+        # dropped client contributes nothing rather than a stale term.
+        if not updates:
+            raise ValueError("aggregate() needs >= 1 surviving update; "
+                             "skipped rounds must not reach aggregation")
         n_sel = len(updates)
         n_all = len(self.clients)
         params = dict(self.global_model.named_parameters())

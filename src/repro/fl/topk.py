@@ -80,6 +80,9 @@ class FedTopK(FederatedAlgorithm):
         return payload
 
     def aggregate(self, updates: list[dict], round_idx: int) -> None:
+        if not updates:
+            raise ValueError("aggregate() needs >= 1 surviving update; "
+                             "skipped rounds must not reach aggregation")
         weights = np.asarray([u["n"] for u in updates], dtype=np.float64)
         w = weights / weights.sum()
         params = dict(self.global_model.named_parameters())

@@ -24,6 +24,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["make-coffee"])
 
+    def test_fault_knobs_parse(self):
+        args = build_parser().parse_args(
+            ["fault-tolerance", "--fault-drop", "0.3", "--fault-corrupt",
+             "0.05", "--fault-timeout", "6", "--min-clients", "3",
+             "--fault-rates", "0.0", "0.2"])
+        assert args.fault_drop == pytest.approx(0.3)
+        assert args.fault_corrupt == pytest.approx(0.05)
+        assert args.fault_timeout == pytest.approx(6.0)
+        assert args.min_clients == 3
+        assert args.fault_rates == [0.0, 0.2]
+
+    def test_fault_knobs_default_off(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.fault_drop == 0.0
+        assert args.fault_corrupt == 0.0
+        assert args.fault_timeout is None
+
 
 class TestDispatch:
     def test_list(self, capsys):
@@ -38,3 +55,11 @@ class TestDispatch:
         assert rc == 0
         out = capsys.readouterr().out
         assert "spatl" in out and "fedavg" in out
+
+    def test_fault_tolerance_smoke(self, capsys):
+        rc = main(["fault-tolerance", "--clients", "2", "--rounds", "1",
+                   "--sample-ratio", "1.0", "--fault-rates", "0.0", "0.5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fedavg" in out and "spatl" in out
+        assert "drop p" in out

@@ -4,7 +4,9 @@ import numpy as np
 import pytest
 
 from repro.experiments import (ExperimentConfig, compare_table, config_for,
-                               make_algorithm, make_setting, run_algorithms)
+                               fault_degradation_curve, make_algorithm,
+                               make_fault_model, make_setting,
+                               render_fault_table, run_algorithms)
 from repro.experiments.ablation import stability
 from repro.experiments.communication import (CostRow, paper_scale_mb_per_round,
                                              render_cost_table,
@@ -55,6 +57,40 @@ class TestConfig:
             assert algo.name == name
         with pytest.raises(KeyError):
             make_algorithm("sgd", cfg, model_fn, clients)
+
+
+class TestFaultConfig:
+    def test_faults_off_by_default(self):
+        cfg = config_for("tiny")
+        assert not cfg.faults_enabled
+        assert make_fault_model(cfg) is None
+
+    def test_fault_model_built_from_knobs(self):
+        cfg = config_for("tiny", fault_drop_prob=0.2, fault_corrupt_prob=0.01,
+                         fault_timeout=6.0, seed=7)
+        assert cfg.faults_enabled
+        fm = make_fault_model(cfg)
+        assert fm is not None
+        assert fm.drop_prob == pytest.approx(0.2)
+        assert fm.corrupt_prob == pytest.approx(0.01)
+        assert fm.timeout == pytest.approx(6.0)
+        assert fm.seed == 7  # defaults to cfg.seed
+        fm2 = make_fault_model(cfg.scaled(fault_seed=99))
+        assert fm2.seed == 99
+
+    def test_degradation_curve_smoke(self):
+        cfg = config_for("tiny", n_samples=300, n_clients=2, local_epochs=1,
+                         sample_ratio=1.0)
+        results = fault_degradation_curve(cfg, drop_probs=(0.0, 0.5),
+                                          algorithms=("fedavg",), rounds=1)
+        assert set(results) == {"fedavg"}
+        assert set(results["fedavg"]) == {0.0, 0.5}
+        clean = results["fedavg"][0.0]
+        assert clean["n_dropped"] == 0 and clean["n_corrupt"] == 0
+        assert all(0.0 <= r["final_acc"] <= 1.0
+                   for r in results["fedavg"].values())
+        table = render_fault_table(results)
+        assert "fedavg" in table and "drop p" in table
 
 
 class TestHarness:

@@ -162,3 +162,20 @@ class TestRunLoop:
                       seed=0)
         algo.run(rounds=1)
         assert len(algo.per_client_accuracy()) == len(tiny_clients)
+
+    def test_rounds_run_overwritten_on_resume(self, tiny_clients,
+                                              tiny_model_fn):
+        # regression: a setdefault kept the stale pre-resume count when the
+        # same log object was reused across run() calls
+        algo = FedAvg(tiny_model_fn, tiny_clients, lr=0.05, local_epochs=1,
+                      seed=0)
+        log = algo.run(rounds=2)
+        assert log.meta["rounds_run"] == 2
+        log = algo.run(rounds=1, log=log)
+        assert log.meta["rounds_run"] == 3
+
+    def test_empty_round_guard(self, tiny_clients, tiny_model_fn):
+        algo = FedAvg(tiny_model_fn, tiny_clients, lr=0.05, local_epochs=1,
+                      seed=0)
+        with pytest.raises(ValueError):
+            algo.aggregate([], 0)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import SPATL, StaticSaliencyPolicy
-from repro.fl import FedAvg, Scaffold, make_federated_clients
+from repro.fl import FaultModel, FedAvg, Scaffold, make_federated_clients
 from repro.fl.checkpoint import load_checkpoint, save_checkpoint
 
 
@@ -101,6 +101,21 @@ class TestCheckpointRoundtrip:
         fresh.run(rounds=1)
         assert fresh.rounds_completed == 3
 
+    def test_fault_stats_roundtrip(self, tmp_path, tiny_dataset,
+                                   tiny_setting):
+        model_fn, _ = tiny_setting
+        algo = FedAvg(model_fn, _clients(tiny_dataset, tiny_setting),
+                      lr=0.05, local_epochs=1, seed=0,
+                      fault_model=FaultModel(drop_prob=0.5, seed=2))
+        algo.run(rounds=2)
+        path = tmp_path / "faulty.npz"
+        save_checkpoint(algo, path)
+        fresh = FedAvg(model_fn, _clients(tiny_dataset, tiny_setting),
+                       lr=0.05, local_epochs=1, seed=0,
+                       fault_model=FaultModel(drop_prob=0.5, seed=2))
+        load_checkpoint(fresh, path)
+        assert fresh.fault_stats == algo.fault_stats
+
     def test_client_count_mismatch_rejected(self, tmp_path, tiny_dataset,
                                             tiny_setting):
         model_fn, _ = tiny_setting
@@ -113,3 +128,73 @@ class TestCheckpointRoundtrip:
                          seed=0)
         with pytest.raises(ValueError):
             load_checkpoint(smaller, path)
+
+
+class TestMidRoundCrashResume:
+    """ISSUE-1 satellite: a crash *mid-round* must not poison a resume —
+    restarting from the last round-boundary checkpoint reproduces the
+    uninterrupted run's accuracy and ledger trajectory seed-for-seed."""
+
+    def _crash_mid_round(self, doomed):
+        """Partially execute the next round, then abandon the instance (the
+        simulated crash): download + train one client, never aggregate."""
+        r = doomed.rounds_completed
+        from repro.fl.base import sample_clients
+        victim = sample_clients(doomed.clients, doomed.sample_ratio,
+                                doomed.seed, r)[0]
+        doomed.download_payload(victim)
+        doomed.local_update(victim, r)  # mutates doomed's in-memory state
+
+    def _assert_same_trajectory(self, ref, resumed, ref_log, resumed_log):
+        assert resumed_log.meta["rounds_run"] == ref_log.meta["rounds_run"]
+        np.testing.assert_allclose(resumed_log["val_acc"][-1],
+                                   ref_log["val_acc"][-1], atol=1e-12)
+        assert resumed.ledger.total_bytes() == ref.ledger.total_bytes()
+        for (n, p1), (_, p2) in zip(ref.global_model.named_parameters(),
+                                    resumed.global_model.named_parameters()):
+            np.testing.assert_allclose(p1.data, p2.data, atol=1e-7,
+                                       err_msg=n)
+
+    def test_fedavg(self, tmp_path, tiny_dataset, tiny_setting):
+        model_fn, _ = tiny_setting
+
+        def fresh():
+            return FedAvg(model_fn, _clients(tiny_dataset, tiny_setting),
+                          lr=0.05, local_epochs=1, seed=0)
+
+        ref = fresh()
+        ref_log = ref.run(rounds=3)
+
+        doomed = fresh()
+        doomed.run(rounds=2)
+        path = tmp_path / "mid.npz"
+        save_checkpoint(doomed, path)
+        self._crash_mid_round(doomed)  # crash during round 2
+
+        resumed = fresh()
+        load_checkpoint(resumed, path)
+        assert resumed.rounds_completed == 2
+        resumed_log = resumed.run(rounds=1)
+        self._assert_same_trajectory(ref, resumed, ref_log, resumed_log)
+
+    def test_spatl(self, tmp_path, tiny_dataset, tiny_setting):
+        model_fn, _ = tiny_setting
+
+        def fresh():
+            return SPATL(model_fn, _clients(tiny_dataset, tiny_setting),
+                         selection_policy=StaticSaliencyPolicy(0.3),
+                         lr=0.05, local_epochs=1, seed=0)
+
+        ref = fresh()
+        ref_log = ref.run(rounds=3)
+
+        doomed = fresh()
+        doomed.run(rounds=2)
+        path = tmp_path / "mid_spatl.npz"
+        save_checkpoint(doomed, path)
+        self._crash_mid_round(doomed)  # mutates a private predictor + c_i
+
+        resumed = fresh()
+        load_checkpoint(resumed, path)
+        resumed_log = resumed.run(rounds=1)
+        self._assert_same_trajectory(ref, resumed, ref_log, resumed_log)

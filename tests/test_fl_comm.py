@@ -5,8 +5,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.fl import (CommLedger, deserialize_state, payload_nbytes,
-                      serialize_state, sparse_payload_nbytes)
+from repro.fl import (CommLedger, PayloadError, deserialize_state,
+                      payload_nbytes, serialize_state, sparse_payload_nbytes)
 
 
 class TestCodec:
@@ -55,6 +55,83 @@ class TestCodec:
         for k in state:
             np.testing.assert_array_equal(out[k], state[k])
         assert payload_nbytes(state) == len(serialize_state(state))
+
+
+class TestPayloadValidation:
+    STATE = {"layer.weight": np.arange(24, dtype=np.float32).reshape(2, 3, 4),
+             "layer.bias": np.ones(2, dtype=np.float64)}
+
+    def test_truncated_payload_raises_typed_error(self):
+        blob = serialize_state(self.STATE)
+        for cut in (0, 3, 5, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(PayloadError):
+                deserialize_state(blob[:cut])
+
+    def test_error_names_entry_and_offset(self):
+        blob = serialize_state(self.STATE)
+        with pytest.raises(PayloadError) as exc:
+            deserialize_state(blob[:len(blob) - 1])
+        assert exc.value.entry is not None
+        assert exc.value.offset is not None
+        assert "offset" in str(exc.value)
+
+    def test_trailing_garbage_rejected(self):
+        blob = serialize_state(self.STATE)
+        with pytest.raises(PayloadError):
+            deserialize_state(blob + b"\x00\x01")
+
+    def test_unknown_dtype_code_rejected(self):
+        blob = bytearray(serialize_state({"w": np.ones(2, dtype=np.float32)}))
+        # entry layout after u32 count: u16 name_len, name, u8 dtype code
+        blob[4 + 2 + 1] = 250
+        with pytest.raises(PayloadError):
+            deserialize_state(bytes(blob))
+
+    def test_payload_error_is_value_error(self):
+        assert issubclass(PayloadError, ValueError)
+
+
+class TestChecksummedCodec:
+    STATE = {"w": np.random.default_rng(0).normal(size=(3, 5)).astype(
+        np.float32), "n": np.asarray(7, dtype=np.int64)}
+
+    def test_roundtrip(self):
+        blob = serialize_state(self.STATE, checksums=True)
+        out = deserialize_state(blob, checksums=True)
+        for k in self.STATE:
+            np.testing.assert_array_equal(out[k], self.STATE[k], err_msg=k)
+
+    def test_checksummed_size_is_exact(self):
+        blob = serialize_state(self.STATE, checksums=True)
+        assert payload_nbytes(self.STATE, checksums=True) == len(blob)
+        # exactly 4 CRC bytes per entry on top of the plain format
+        assert len(blob) == len(serialize_state(self.STATE)) + 4 * len(
+            self.STATE)
+
+    def test_single_bit_flip_detected_everywhere(self):
+        blob = serialize_state(self.STATE, checksums=True)
+        for pos in range(4, len(blob)):  # skip the uncovered count header
+            bad = bytearray(blob)
+            bad[pos] ^= 0x10
+            with pytest.raises(PayloadError):
+                deserialize_state(bytes(bad), checksums=True)
+
+    def test_count_header_flip_detected(self):
+        blob = serialize_state(self.STATE, checksums=True)
+        for pos in range(4):
+            bad = bytearray(blob)
+            bad[pos] ^= 0x01
+            with pytest.raises(PayloadError):
+                deserialize_state(bytes(bad), checksums=True)
+
+    def test_plain_format_unchanged_by_checksum_support(self):
+        # default serialisation must stay byte-identical to the original
+        # wire format (fault-free accounting depends on it)
+        blob = serialize_state(self.STATE)
+        assert payload_nbytes(self.STATE) == len(blob)
+        out = deserialize_state(blob)
+        for k in self.STATE:
+            np.testing.assert_array_equal(out[k], self.STATE[k])
 
 
 class TestSparsePayload:
