@@ -5,15 +5,26 @@ them).  Runs use the ``tiny``/``small`` CPU scales; the paper-shape
 assertions (who wins, by what factor) are checked with generous margins,
 and full raw numbers are recorded in ``benchmark.extra_info`` and printed.
 
+Besides pytest-benchmark's own output, every session appends one record of
+per-test wall times to ``BENCH_obs.json`` at the repo root — a
+machine-readable perf trajectory that accumulates across sessions, so
+regressions show up as history instead of anecdotes.
+
 Environment knobs:
 
 - ``REPRO_BENCH_SCALE``  — ``tiny`` (default) or ``small``.
 - ``REPRO_BENCH_SEED``   — experiment seed (default 0).
+- ``REPRO_BENCH_OBS``    — set to ``0`` to skip writing ``BENCH_obs.json``.
 """
 
 from __future__ import annotations
 
+import datetime
+import json
 import os
+import platform
+import time
+from pathlib import Path
 
 import pytest
 
@@ -22,6 +33,9 @@ from repro.experiments import config_for
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
 
+_BENCH_OBS_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+_WALL_TIMES: dict[str, float] = {}
+
 
 def bench_config(**overrides):
     overrides.setdefault("seed", SEED)
@@ -29,9 +43,10 @@ def bench_config(**overrides):
 
 
 @pytest.fixture
-def once(benchmark):
+def once(benchmark, request):
     """Run the measured callable exactly once (FL rounds are minutes, not
-    microseconds) and attach its result to the benchmark record."""
+    microseconds), attach its result to the benchmark record, and log the
+    wall time into the session's ``BENCH_obs.json`` entry."""
 
     def runner(fn, *args, **kwargs):
         holder = {}
@@ -39,7 +54,30 @@ def once(benchmark):
         def wrapped():
             holder["result"] = fn(*args, **kwargs)
 
+        t0 = time.perf_counter()
         benchmark.pedantic(wrapped, rounds=1, iterations=1, warmup_rounds=0)
+        _WALL_TIMES[request.node.nodeid] = round(time.perf_counter() - t0, 6)
         return holder["result"]
 
     return runner
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Append this session's wall times to the cumulative BENCH_obs.json."""
+    if not _WALL_TIMES or os.environ.get("REPRO_BENCH_OBS", "1") == "0":
+        return
+    history = []
+    if _BENCH_OBS_PATH.exists():
+        try:
+            history = json.loads(_BENCH_OBS_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []                     # corrupt file: restart history
+    history.append({
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "scale": SCALE,
+        "seed": SEED,
+        "python": platform.python_version(),
+        "exit_status": int(exitstatus),
+        "wall_s": dict(sorted(_WALL_TIMES.items())),
+    })
+    _BENCH_OBS_PATH.write_text(json.dumps(history, indent=2) + "\n")

@@ -29,9 +29,13 @@ from repro.experiments import (ablation_gradient_control, ablation_selection,
                                rounds_to_target_figure, table1_target_cost,
                                table2_convergence, transferability_table)
 from repro.experiments.communication import render_cost_table
+from repro.experiments.configs import make_algorithm, make_setting
 from repro.experiments.inference import render_inference_table
 from repro.experiments.learning_efficiency import converge_accuracy_summary
 from repro.experiments.pruning_compare import render_pruning_table
+from repro.obs import (OpProfiler, Tracer, codec_byte_totals, get_registry,
+                       get_tracer, hotspot_table, round_timeline_table,
+                       set_tracer)
 
 
 def _cfg(args, **extra):
@@ -143,6 +147,54 @@ def cmd_rl_finetune(args) -> None:
           [round(r, 3) for r in result["finetune_rewards"]])
 
 
+def cmd_profile(args) -> None:
+    """Trace + profile a few rounds; print timeline and hotspot tables."""
+    cfg = _cfg(args, rounds=args.rounds or 2)
+    tracer = get_tracer()
+    own_tracer = not tracer.enabled   # under `all --trace-out` reuse outer
+    previous = None
+    if own_tracer:
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+    profiler = OpProfiler().install()
+    try:
+        model_fn, clients = make_setting(cfg)
+        algo = make_algorithm(args.algorithm, cfg, model_fn, clients)
+        algo.run(cfg.rounds)
+    finally:
+        profiler.uninstall()
+        if own_tracer:
+            set_tracer(previous)
+    print(round_timeline_table(tracer))
+    print()
+    print(hotspot_table(profiler, n=12))
+    codec = codec_byte_totals(tracer)
+    print(f"codec bytes: serialize={int(codec['serialize'])} "
+          f"deserialize={int(codec['deserialize'])} "
+          f"ledger={algo.ledger.total_bytes()}")
+    if own_tracer:
+        if args.trace_out:
+            _export_trace(tracer, args.trace_out)
+        if args.metrics_out:
+            _export_metrics(args.metrics_out)
+
+
+def _export_trace(tracer, path: str) -> None:
+    """Write a trace as Chrome trace-event JSON (or JSONL for ``.jsonl``)."""
+    if str(path).endswith(".jsonl"):
+        tracer.save_jsonl(path)
+    else:
+        tracer.save_chrome_trace(path)
+    print(f"trace written to {path}", file=sys.stderr)
+
+
+def _export_metrics(path: str) -> None:
+    """Dump the global metrics registry snapshot as JSON."""
+    with open(path, "w") as fh:
+        fh.write(get_registry().to_json() + "\n")
+    print(f"metrics written to {path}", file=sys.stderr)
+
+
 def _print_ablation(results) -> None:
     for name, log in results.items():
         print(f"{name:26s} {[round(a, 3) for a in log['val_acc']]}")
@@ -162,6 +214,7 @@ COMMANDS = {
     "ablation-gradctl": cmd_ablation_gradctl,
     "rl-finetune": cmd_rl_finetune,
     "fault-tolerance": cmd_fault_tolerance,
+    "profile": cmd_profile,
 }
 
 
@@ -203,7 +256,29 @@ def build_parser() -> argparse.ArgumentParser:
                         help="quorum: min surviving updates to commit a round")
     faults.add_argument("--fault-rates", type=float, nargs="+", default=None,
                         help="drop rates swept by the fault-tolerance command")
+    obs = parser.add_argument_group(
+        "observability",
+        "Tracing/metrics capture (repro.obs); off by default — the no-op "
+        "tracer keeps the untraced path numerically byte-identical.")
+    obs.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="write a trace of the run: Chrome trace-event "
+                          "JSON, or JSONL when PATH ends in .jsonl")
+    obs.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="write the run's metrics snapshot as JSON")
+    obs.add_argument("--algorithm", default="fedavg",
+                     help="algorithm the profile command runs (default "
+                          "fedavg; any registered name incl. spatl)")
     return parser
+
+
+def _run_commands(args) -> None:
+    """Execute the selected command (or every command for ``all``)."""
+    if args.command == "all":
+        for name, fn in COMMANDS.items():
+            print(f"\n===== {name} =====")
+            fn(args)
+    else:
+        COMMANDS[args.command](args)
 
 
 def main(argv=None) -> int:
@@ -212,12 +287,23 @@ def main(argv=None) -> int:
     if args.command == "list":
         print("\n".join(COMMANDS))
         return 0
-    if args.command == "all":
-        for name, fn in COMMANDS.items():
-            print(f"\n===== {name} =====")
-            fn(args)
-        return 0
-    COMMANDS[args.command](args)
+    # The profile command owns its tracer (and its exports); every other
+    # command gets a run-scoped tracer only when an export was requested.
+    wants_obs = (args.trace_out or args.metrics_out) \
+        and args.command != "profile"
+    if wants_obs:
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            _run_commands(args)
+        finally:
+            set_tracer(previous)
+        if args.trace_out:
+            _export_trace(tracer, args.trace_out)
+        if args.metrics_out:
+            _export_metrics(args.metrics_out)
+    else:
+        _run_commands(args)
     return 0
 
 

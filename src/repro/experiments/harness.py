@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 from repro.experiments.configs import ExperimentConfig, make_algorithm, \
     make_setting
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.utils.logging import ExperimentLog, render_table
 from repro.utils.metrics import best_smoothed, rounds_to_target
 
@@ -22,11 +25,17 @@ def run_algorithms(cfg: ExperimentConfig, algorithms: Sequence[str],
     """
     rounds = rounds if rounds is not None else cfg.rounds
     results: dict[str, ExperimentLog] = {}
+    tracer = get_tracer()
     for name in algorithms:
         model_fn, clients = make_setting(cfg)
         algo = make_algorithm(name, cfg, model_fn, clients)
-        log = algo.run(rounds, target_accuracy=target_accuracy,
-                       patience=patience, verbose=verbose)
+        t0 = time.perf_counter()
+        with tracer.span("algorithm", algorithm=name, rounds=rounds):
+            log = algo.run(rounds, target_accuracy=target_accuracy,
+                           patience=patience, verbose=verbose)
+        wall = time.perf_counter() - t0
+        log.meta["wall_time_s"] = wall
+        get_registry().gauge("harness.wall_time_s", algorithm=name).set(wall)
         log.meta["algorithm"] = name
         log.meta["final_acc"] = log.last("val_acc")
         log.meta["best_acc"] = best_smoothed(log["val_acc"], window=3)

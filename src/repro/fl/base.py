@@ -25,11 +25,14 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.fl.client import Client
-from repro.fl.comm import CommLedger, payload_nbytes
+from repro.fl.comm import (CommLedger, deserialize_state, payload_nbytes,
+                           serialize_state)
 from repro.fl.faults import FaultModel, FaultyTransport
 from repro.fl.resilience import (ClientCrashed, ClientFailure, FaultStats,
                                  RetryPolicy, TransferCorrupted)
 from repro.models.split import SplitModel
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.utils.logging import ExperimentLog
 from repro.utils.metrics import EarlyStopper
 from repro.utils.rng import spawn_rng
@@ -161,35 +164,56 @@ class FederatedAlgorithm:
         fresh seed salt up to ``max_round_resamples`` times, after which
         the round is *skipped* (no aggregation — the global model is
         untouched and the round index still advances).
+
+        Each protocol phase runs inside a tracer span (no-op by default)
+        and round-level counters land in the default metrics registry;
+        neither touches numerics, so traced runs stay seed-identical.
         """
-        stats = FaultStats()
-        quorum = max(1, self.min_clients)
-        salt = 0
-        while True:
-            selected = sample_clients(self.clients, self.sample_ratio,
-                                      self.seed, round_idx, salt=salt)
-            updates, losses = self._collect_updates(selected, round_idx,
-                                                    salt, stats)
-            if self.fault_model is None or len(updates) >= quorum:
-                break
-            if salt >= self.max_round_resamples:
-                break
-            salt += 1
-            stats.n_resamples += 1
-        committed = len(updates) >= quorum
-        if committed:
-            self.aggregate(updates, round_idx)
-        self.rounds_completed = round_idx + 1
-        self.fault_stats.merge(stats)
-        acc = self.evaluate_all()
-        avg_loss = float(np.nanmean(losses)) if losses else float("nan")
-        return RoundResult(round_idx, avg_loss, acc, len(updates),
-                           self.ledger.round_bytes(round_idx),
-                           n_dropped=stats.n_dropped,
-                           n_retries=stats.n_retries,
-                           n_corrupt=stats.n_corrupt,
-                           n_resamples=stats.n_resamples,
-                           committed=committed)
+        tracer = get_tracer()
+        with tracer.span("round", round=round_idx) as round_span:
+            stats = FaultStats()
+            quorum = max(1, self.min_clients)
+            salt = 0
+            while True:
+                with tracer.span("sample", round=round_idx, salt=salt):
+                    selected = sample_clients(self.clients, self.sample_ratio,
+                                              self.seed, round_idx, salt=salt)
+                updates, losses = self._collect_updates(selected, round_idx,
+                                                        salt, stats)
+                if self.fault_model is None or len(updates) >= quorum:
+                    break
+                if salt >= self.max_round_resamples:
+                    break
+                salt += 1
+                stats.n_resamples += 1
+            committed = len(updates) >= quorum
+            if committed:
+                with tracer.span("aggregate", round=round_idx,
+                                 n_updates=len(updates)):
+                    self.aggregate(updates, round_idx)
+            self.rounds_completed = round_idx + 1
+            self.fault_stats.merge(stats)
+            with tracer.span("evaluate", round=round_idx):
+                acc = self.evaluate_all()
+            avg_loss = float(np.nanmean(losses)) if losses else float("nan")
+            result = RoundResult(round_idx, avg_loss, acc, len(updates),
+                                 self.ledger.round_bytes(round_idx),
+                                 n_dropped=stats.n_dropped,
+                                 n_retries=stats.n_retries,
+                                 n_corrupt=stats.n_corrupt,
+                                 n_resamples=stats.n_resamples,
+                                 committed=committed)
+            round_span.set(val_acc=acc, n_participants=len(updates),
+                           bytes=result.round_bytes, committed=committed)
+        metrics = get_registry()
+        metrics.counter("fl.rounds", algorithm=self.name).inc()
+        metrics.counter("fl.client_updates", algorithm=self.name).inc(len(updates))
+        metrics.counter("fl.bytes", algorithm=self.name).inc(result.round_bytes)
+        metrics.gauge("fl.val_acc", algorithm=self.name).set(acc)
+        if tracer.enabled:
+            metrics.histogram("fl.round_seconds",
+                              algorithm=self.name).observe(round_span.duration)
+        return result
 
     def _collect_updates(self, selected: Sequence[Client], round_idx: int,
                          salt: int, stats: FaultStats):
@@ -215,44 +239,70 @@ class FederatedAlgorithm:
         — an upload corruption triggers a *retransmission*, never silent
         retraining — and a mid-training crash rolls the client's
         persistent state back to its pre-round snapshot before retrying.
+
+        When a tracer is enabled on the fault-free path, each payload
+        additionally makes one pass through the wire codec
+        (serialize → deserialize, result discarded) so the trace's codec
+        spans carry the same byte totals as the ledger.  Numerics and
+        accounting are untouched: the codec is lossless and the ledger
+        still records ``payload_nbytes`` (== the serialized length).
         """
+        tracer = get_tracer()
+        cid = client.client_id
         if self.fault_model is None:
-            down = self.download_payload(client)
-            self.ledger.record_down(round_idx, client.client_id,
-                                    payload_nbytes(down))
-            update = self.local_update(client, round_idx)
-            up = self.upload_payload(update)
-            self.ledger.record_up(round_idx, client.client_id,
-                                  payload_nbytes(up))
+            with tracer.span("download", round=round_idx, client=cid) as span:
+                down = self.download_payload(client)
+                down_bytes = payload_nbytes(down)
+                span.set(bytes=down_bytes)
+                if tracer.enabled:
+                    deserialize_state(serialize_state(down))
+            self.ledger.record_down(round_idx, cid, down_bytes)
+            with tracer.span("local_update", round=round_idx, client=cid):
+                update = self.local_update(client, round_idx)
+            with tracer.span("upload", round=round_idx, client=cid) as span:
+                up = self.upload_payload(update)
+                up_bytes = payload_nbytes(up)
+                span.set(bytes=up_bytes)
+                if tracer.enabled:
+                    deserialize_state(serialize_state(up))
+            self.ledger.record_up(round_idx, cid, up_bytes)
             return update
 
         fm = self.fault_model
-        cid = client.client_id
         update = None
         failure: ClientFailure | None = None
         for attempt in range(self.retry_policy.max_attempts):
-            try:
-                if update is None:
-                    fm.check_available(round_idx, cid, salt, attempt)
-                    down = self.download_payload(client)
-                    self.transport.download(round_idx, cid, down, salt,
-                                            attempt)
-                    fm.check_straggler(round_idx, cid, salt, attempt,
-                                       self.epochs_for(client, round_idx))
-                    snapshot = client.snapshot_local_state()
-                    update = self.local_update(client, round_idx)
-                    try:
-                        fm.check_crash(round_idx, cid, salt, attempt)
-                    except ClientCrashed:
-                        client.restore_local_state(snapshot)
-                        update = None
-                        raise
-                up = self.upload_payload(update)
-                self.transport.upload(round_idx, cid, up, salt, attempt)
-                return update
-            except ClientFailure as err:
-                stats.record_attempt_failure(err)
-                failure = err
+            with tracer.span("attempt", round=round_idx, client=cid,
+                             attempt=attempt, salt=salt) as attempt_span:
+                try:
+                    if update is None:
+                        fm.check_available(round_idx, cid, salt, attempt)
+                        with tracer.span("download", round=round_idx,
+                                         client=cid):
+                            down = self.download_payload(client)
+                            self.transport.download(round_idx, cid, down,
+                                                    salt, attempt)
+                        fm.check_straggler(round_idx, cid, salt, attempt,
+                                           self.epochs_for(client, round_idx))
+                        snapshot = client.snapshot_local_state()
+                        with tracer.span("local_update", round=round_idx,
+                                         client=cid):
+                            update = self.local_update(client, round_idx)
+                        try:
+                            fm.check_crash(round_idx, cid, salt, attempt)
+                        except ClientCrashed:
+                            client.restore_local_state(snapshot)
+                            update = None
+                            raise
+                    with tracer.span("upload", round=round_idx, client=cid):
+                        up = self.upload_payload(update)
+                        self.transport.upload(round_idx, cid, up, salt,
+                                              attempt)
+                    return update
+                except ClientFailure as err:
+                    attempt_span.set(failure=type(err).__name__)
+                    stats.record_attempt_failure(err)
+                    failure = err
             if attempt + 1 < self.retry_policy.max_attempts:
                 stats.n_retries += 1
                 stats.backoff_time += self.retry_policy.delay(attempt)

@@ -33,6 +33,8 @@ from collections import defaultdict
 
 import numpy as np
 
+from repro.obs.trace import get_tracer
+
 
 class PayloadError(ValueError):
     """A wire payload failed structural validation or checksum.
@@ -65,28 +67,36 @@ def serialize_state(state: dict[str, np.ndarray],
 
     With ``checksums=True`` every entry record is followed by its CRC32,
     making corruption detectable by :func:`deserialize_state`.
+
+    When tracing is enabled, the whole encode is wrapped in a
+    ``serialize`` span whose ``bytes`` attribute is the exact wire size —
+    the same number the :class:`CommLedger` records — so traces and the
+    communication tables line up byte-for-byte.
     """
-    parts = [struct.pack("<I", len(state))]
-    for name in state:
-        arr = np.ascontiguousarray(state[name])
-        if np.ndim(state[name]) == 0:
-            # ascontiguousarray promotes 0-d to 1-d; undo it so the wire
-            # shape (and payload_nbytes) match the caller's array exactly
-            arr = arr.reshape(())
-        if arr.dtype not in _DTYPE_CODE:
-            raise TypeError(f"unsupported dtype {arr.dtype} for {name!r}")
-        raw_name = name.encode("utf-8")
-        record = b"".join((
-            struct.pack("<H", len(raw_name)),
-            raw_name,
-            struct.pack("<BB", _DTYPE_CODE[arr.dtype], arr.ndim),
-            struct.pack(f"<{arr.ndim}I", *arr.shape),
-            arr.tobytes(),
-        ))
-        parts.append(record)
-        if checksums:
-            parts.append(struct.pack("<I", zlib.crc32(record)))
-    return b"".join(parts)
+    with get_tracer().span("serialize", checksums=checksums) as span:
+        parts = [struct.pack("<I", len(state))]
+        for name in state:
+            arr = np.ascontiguousarray(state[name])
+            if np.ndim(state[name]) == 0:
+                # ascontiguousarray promotes 0-d to 1-d; undo it so the wire
+                # shape (and payload_nbytes) match the caller's array exactly
+                arr = arr.reshape(())
+            if arr.dtype not in _DTYPE_CODE:
+                raise TypeError(f"unsupported dtype {arr.dtype} for {name!r}")
+            raw_name = name.encode("utf-8")
+            record = b"".join((
+                struct.pack("<H", len(raw_name)),
+                raw_name,
+                struct.pack("<BB", _DTYPE_CODE[arr.dtype], arr.ndim),
+                struct.pack(f"<{arr.ndim}I", *arr.shape),
+                arr.tobytes(),
+            ))
+            parts.append(record)
+            if checksums:
+                parts.append(struct.pack("<I", zlib.crc32(record)))
+        blob = b"".join(parts)
+        span.set(bytes=len(blob), entries=len(state))
+    return blob
 
 
 def deserialize_state(payload: bytes,
@@ -97,8 +107,21 @@ def deserialize_state(payload: bytes,
     so truncated or bit-flipped payloads raise :class:`PayloadError`
     naming the entry and offset instead of a bare ``struct.error`` or a
     silent mis-slice.  With ``checksums=True`` each entry's CRC32 is
-    verified as well.
+    verified as well.  Duplicate entry names are a structural fault too:
+    a payload that names the same entry twice would silently let the last
+    occurrence win, so it is rejected with :class:`PayloadError`.
+
+    Like :func:`serialize_state`, the decode is wrapped in a traced
+    ``deserialize`` span carrying the payload's byte count.
     """
+    with get_tracer().span("deserialize", checksums=checksums,
+                           bytes=len(payload)) as span:
+        return _deserialize_state(payload, checksums, span)
+
+
+def _deserialize_state(payload: bytes, checksums: bool,
+                       span) -> dict[str, np.ndarray]:
+    """Decode loop behind :func:`deserialize_state` (span already open)."""
     total = len(payload)
     out: dict[str, np.ndarray] = {}
     off = 0
@@ -125,6 +148,9 @@ def deserialize_state(payload: bytes,
             raise PayloadError(f"undecodable entry name: {err}",
                                entry=entry_label, offset=off) from err
         off += name_len
+        if name in out:
+            raise PayloadError("duplicate entry name", entry=name,
+                               offset=record_start)
         need(2, "dtype/ndim header", name)
         code, ndim = struct.unpack_from("<BB", payload, off)
         off += 2
@@ -161,6 +187,7 @@ def deserialize_state(payload: bytes,
         raise PayloadError(
             f"{total - off} trailing byte(s) after final entry",
             offset=off)
+    span.set(entries=len(out))
     return out
 
 

@@ -7,6 +7,7 @@ from typing import Callable
 import numpy as np
 
 from repro.fl.client import Client
+from repro.obs.trace import get_tracer
 from repro.optim import SGD
 from repro.tensor import Tensor, functional as F
 from repro.utils.metrics import RunningAverage
@@ -45,17 +46,20 @@ def train_local(model, client: Client, round_idx: int, epochs: int, lr: float,
     loss_avg = RunningAverage()
     steps = 0
     model.train()
-    for epoch in range(epochs):
-        for xb, yb in client.train_loader(round_idx * 1000 + epoch):
-            logits = model(Tensor(xb))
-            loss = F.cross_entropy(logits, yb)
-            if extra_loss is not None:
-                loss = loss + extra_loss(model)
-            model.zero_grad()
-            loss.backward()
-            opt.step()
-            loss_avg.update(loss.item(), len(yb))
-            steps += 1
+    with get_tracer().span("train_local", round=round_idx,
+                           client=client.client_id, epochs=epochs) as span:
+        for epoch in range(epochs):
+            for xb, yb in client.train_loader(round_idx * 1000 + epoch):
+                logits = model(Tensor(xb))
+                loss = F.cross_entropy(logits, yb)
+                if extra_loss is not None:
+                    loss = loss + extra_loss(model)
+                model.zero_grad()
+                loss.backward()
+                opt.step()
+                loss_avg.update(loss.item(), len(yb))
+                steps += 1
+        span.set(steps=steps, train_loss=loss_avg.value)
     return loss_avg.value, steps, opt
 
 

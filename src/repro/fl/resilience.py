@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 
+from repro.obs.metrics import get_registry
+
 
 class ClientFailure(RuntimeError):
     """A client failed to deliver a usable update this attempt."""
@@ -111,6 +113,8 @@ class FaultStats:
     def record_failure(self, failure: ClientFailure) -> None:
         """A client permanently failed this round (post-retries)."""
         self.n_dropped += 1
+        get_registry().counter("fl.clients_dropped",
+                               kind=type(failure).__name__).inc()
 
     def record_attempt_failure(self, failure: ClientFailure) -> None:
         """One attempt failed (may be retried)."""
@@ -120,6 +124,8 @@ class FaultStats:
             self.n_timeouts += 1
         elif isinstance(failure, ClientCrashed):
             self.n_crashes += 1
+        get_registry().counter("fl.attempt_failures",
+                               kind=type(failure).__name__).inc()
 
     def merge(self, other: "FaultStats") -> None:
         for f in fields(self):

@@ -1,0 +1,75 @@
+"""Human-readable views over traces and profiles.
+
+Reuses :func:`repro.utils.logging.render_table` so observability output
+matches the repo's paper-table style: a per-round phase timeline from a
+:class:`~repro.obs.trace.Tracer` and a hotspot table from an
+:class:`~repro.obs.profiler.OpProfiler`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.utils.logging import render_table
+
+# Server-loop phase spans, in protocol order (DESIGN.md §8).
+ROUND_PHASES = ("sample", "download", "local_update", "upload", "aggregate",
+                "evaluate")
+
+
+def span_total_seconds(tracer, name: str) -> float:
+    """Summed duration of every finished span called ``name``."""
+    return sum(s.duration for s in tracer.spans if s.name == name)
+
+
+def span_attr_total(tracer, name: str, attr: str) -> float:
+    """Sum an attribute (e.g. ``bytes``) over spans called ``name``."""
+    return sum(s.attrs.get(attr, 0) for s in tracer.spans if s.name == name)
+
+
+def round_timeline_table(tracer, phases: tuple[str, ...] = ROUND_PHASES) -> str:
+    """Per-round table of seconds spent in each server-loop phase.
+
+    Rows are rounds (from each span's ``round`` attribute); columns are
+    the protocol phases plus the enclosing ``round`` span's total, so gaps
+    between the phase sum and the total expose unattributed time.
+    """
+    per_round: dict[int, dict[str, float]] = defaultdict(lambda: defaultdict(float))
+    totals: dict[int, float] = defaultdict(float)
+    for s in tracer.spans:
+        r = s.attrs.get("round")
+        if r is None:
+            continue
+        r = int(r)
+        if s.name == "round":
+            totals[r] += s.duration
+        elif s.name in phases:
+            per_round[r][s.name] += s.duration
+    rounds = sorted(set(per_round) | set(totals))
+    headers = ["round"] + [f"{p} s" for p in phases] + ["total s"]
+    rows = [[r] + [per_round[r].get(p, 0.0) for p in phases] + [totals.get(r, 0.0)]
+            for r in rounds]
+    return render_table(headers, rows, title="Round timeline")
+
+
+def hotspot_table(profiler, n: int = 10) -> str:
+    """Top-``n`` ops by cumulative wall time, with FLOPs and throughput."""
+    headers = ["op", "calls", "total s", "mean ms", "GFLOP", "GFLOP/s"]
+    rows = []
+    for op, stat in profiler.top_hotspots(n):
+        mean_ms = stat.seconds / stat.calls * 1e3 if stat.calls else 0.0
+        rows.append([op, stat.calls, stat.seconds, mean_ms,
+                     stat.flops / 1e9, stat.gflops_per_s])
+    return render_table(headers, rows, title=f"Top {len(rows)} hotspots")
+
+
+def codec_byte_totals(tracer) -> dict[str, float]:
+    """Bytes that crossed the codec, per direction of the span taxonomy.
+
+    Returns the summed ``bytes`` attributes of the ``serialize`` and
+    ``deserialize`` spans — by construction equal to the
+    :class:`~repro.fl.comm.CommLedger` totals of a traced run, which the
+    CI trace-smoke step asserts.
+    """
+    return {"serialize": span_attr_total(tracer, "serialize", "bytes"),
+            "deserialize": span_attr_total(tracer, "deserialize", "bytes")}

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import contextlib
 import threading
+import time
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -28,6 +29,44 @@ import numpy as np
 _DEFAULT_DTYPE = np.float32
 
 _grad_state = threading.local()
+
+# Profiler hook: when set, Tensor.backward times every node's closure and
+# reports ``(op_name, seconds)``.  None (the default) keeps the walk on the
+# original unconditional-call path — one local ``is None`` check per call.
+_backward_op_hook: Callable[[str, float], None] | None = None
+_op_name_cache: dict = {}
+
+
+def set_backward_op_hook(hook: Callable[[str, float], None] | None):
+    """Install (or clear, with ``None``) the backward-op profiler hook.
+
+    Returns the previously installed hook so profilers can nest/restore.
+    Used by :class:`repro.obs.profiler.OpProfiler`; not a public API for
+    anything else.
+    """
+    global _backward_op_hook
+    previous = _backward_op_hook
+    _backward_op_hook = hook
+    return previous
+
+
+def _backward_op_name(fn) -> str:
+    """Derive an op name from a backward closure's qualname (cached).
+
+    ``conv2d.<locals>.backward`` -> ``conv2d``;
+    ``Tensor.__matmul__.<locals>.backward`` -> ``matmul``;
+    ``_BatchNorm.forward.<locals>.backward`` -> ``batchnorm``.
+    """
+    code = getattr(fn, "__code__", None)
+    name = _op_name_cache.get(code)
+    if name is None:
+        parts = getattr(fn, "__qualname__", "op").split(".<locals>")[0].split(".")
+        name = parts[-1]
+        if name == "forward" and len(parts) > 1:
+            name = parts[-2]
+        name = name.strip("_").lower()
+        _op_name_cache[code] = name
+    return name
 
 
 def is_grad_enabled() -> bool:
@@ -219,9 +258,16 @@ class Tensor:
                     stack.append((p, False))
 
         self._accumulate(grad)
+        hook = _backward_op_hook
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
+                if hook is None:
+                    node._backward(node.grad)
+                else:
+                    t0 = time.perf_counter()
+                    node._backward(node.grad)
+                    hook(_backward_op_name(node._backward),
+                         time.perf_counter() - t0)
                 # Release graph edges and intermediate grads so large conv
                 # activations are collectible as soon as they are consumed.
                 if node is not self:

@@ -49,12 +49,23 @@ class ExperimentLog:
                            "series": dict(self.series)})
 
     @classmethod
-    def from_json(cls, payload: str) -> "ExperimentLog":
+    def from_json(cls, payload: str, stream=None,
+                  verbose: bool = False) -> "ExperimentLog":
+        """Rebuild a log from :meth:`to_json` output.
+
+        ``stream``/``verbose`` configure the restored log's printing (they
+        are runtime preferences, not persisted state).
+        """
         data = json.loads(payload)
-        log = cls(data["name"])
+        log = cls(data["name"], stream=stream, verbose=verbose)
         log.meta = data["meta"]
         for key, vals in data["series"].items():
             log.series[key] = list(vals)
+        # Reset the verbose wall-time origin to *now*: perf_counter values
+        # do not survive serialisation or a process restart, so a resumed
+        # run's "+Xs" prints must measure from the deserialisation moment
+        # rather than whatever stale epoch the saving process had.
+        log._t0 = time.perf_counter()
         return log
 
 

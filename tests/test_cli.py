@@ -63,3 +63,51 @@ class TestDispatch:
         out = capsys.readouterr().out
         assert "fedavg" in out and "spatl" in out
         assert "drop p" in out
+
+
+class TestObservability:
+    def test_obs_flags_parse(self):
+        args = build_parser().parse_args(
+            ["profile", "--trace-out", "t.json", "--metrics-out", "m.json",
+             "--algorithm", "spatl"])
+        assert args.command == "profile"
+        assert args.trace_out == "t.json"
+        assert args.metrics_out == "m.json"
+        assert args.algorithm == "spatl"
+
+    def test_obs_flags_default_off(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.trace_out is None
+        assert args.metrics_out is None
+
+    def test_profile_smoke_emits_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        rc = main(["profile", "--clients", "2", "--rounds", "1",
+                   "--sample-ratio", "1.0", "--trace-out", str(trace),
+                   "--metrics-out", str(metrics)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # hotspot table names the conv ops; codec bytes line is printed
+        assert "conv2d.forward" in out
+        assert "codec bytes:" in out
+        doc = json.loads(trace.read_text())
+        events = doc["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+        names = {e["name"] for e in events}
+        assert {"round", "serialize", "deserialize"} <= names
+        snap = json.loads(metrics.read_text())
+        assert snap["counters"]  # fl.* counters were recorded
+
+    def test_trace_out_on_regular_command(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        rc = main(["learning-efficiency", "--clients", "2", "--rounds", "1",
+                   "--sample-ratio", "1.0", "--trace-out", str(trace)])
+        assert rc == 0
+        records = [json.loads(line)
+                   for line in trace.read_text().splitlines()]
+        assert any(r["name"] == "algorithm" for r in records)

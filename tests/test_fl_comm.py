@@ -1,12 +1,15 @@
 """Unit + property tests: wire codec and communication ledger."""
 
+import struct
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.fl import (CommLedger, PayloadError, deserialize_state,
-                      payload_nbytes, serialize_state, sparse_payload_nbytes)
+from repro.fl import (CommLedger, PayloadError, dequantize_state,
+                      deserialize_state, payload_nbytes, quantize_state,
+                      serialize_state, sparse_payload_nbytes)
 
 
 class TestCodec:
@@ -186,3 +189,63 @@ class TestLedger:
     def test_empty_ledger(self):
         assert CommLedger().total_bytes() == 0
         assert CommLedger().per_round_per_client_mb() == 0.0
+
+
+class TestDuplicateEntryRejection:
+    def test_duplicate_entry_name_raises(self):
+        # Craft a payload that repeats one well-formed record twice: a
+        # hostile (or buggy) sender must not silently overwrite entries.
+        blob = serialize_state({"w": np.arange(6, dtype=np.float32)})
+        record = blob[4:]                       # skip the u32 entry count
+        forged = struct.pack("<I", 2) + record + record
+        with pytest.raises(PayloadError, match="duplicate"):
+            deserialize_state(forged)
+
+    def test_duplicate_detected_with_checksums(self):
+        blob = serialize_state({"w": np.zeros(3, dtype=np.float32)},
+                               checksums=True)
+        record = blob[4:]
+        forged = struct.pack("<I", 2) + record + record
+        with pytest.raises(PayloadError, match="duplicate"):
+            deserialize_state(forged, checksums=True)
+
+    def test_distinct_names_still_accepted(self):
+        state = {"a": np.ones(2, dtype=np.float32),
+                 "b": np.ones(2, dtype=np.float32)}
+        out = deserialize_state(serialize_state(state))
+        assert set(out) == {"a", "b"}
+
+
+class TestQuantization:
+    def test_fp16_roundtrip_within_tolerance(self):
+        rng = np.random.default_rng(3)
+        state = {"w": rng.normal(size=(8, 4)).astype(np.float32),
+                 "b": rng.normal(size=4).astype(np.float32)}
+        back = dequantize_state(quantize_state(state))
+        for k in state:
+            assert back[k].dtype == np.float32
+            np.testing.assert_allclose(back[k], state[k], atol=1e-3,
+                                       rtol=1e-3, err_msg=k)
+
+    def test_fp16_representable_values_are_lossless(self):
+        # Values exactly representable in fp16 must survive the narrow
+        # cast bit-for-bit after widening back.
+        state = {"w": np.asarray([0.0, 0.5, -1.25, 2.0, 1024.0],
+                                 dtype=np.float32)}
+        back = dequantize_state(quantize_state(state))
+        np.testing.assert_array_equal(back["w"], state["w"])
+
+    def test_integer_and_bool_entries_pass_through(self):
+        state = {"idx": np.asarray([1, 5, 9], dtype=np.int32),
+                 "mask": np.asarray([True, False, True]),
+                 "count": np.asarray(7, dtype=np.int64)}
+        quant = quantize_state(state)
+        back = dequantize_state(quant)
+        for k in state:
+            assert quant[k].dtype == state[k].dtype
+            assert back[k].dtype == state[k].dtype
+            np.testing.assert_array_equal(back[k], state[k], err_msg=k)
+
+    def test_quantized_payload_is_smaller(self):
+        state = {"w": np.zeros((32, 32), dtype=np.float32)}
+        assert payload_nbytes(quantize_state(state)) < payload_nbytes(state)

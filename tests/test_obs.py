@@ -1,0 +1,263 @@
+"""Unit tests: the repro.obs subsystem (tracer, metrics, profiler, reports)."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticCIFAR10
+from repro.fl import FedAvg, make_federated_clients, serialize_state
+from repro.models import build_model
+from repro.nn.conv import Conv2d
+from repro.nn.linear import Linear
+from repro.obs import (NULL_SPAN, MetricsRegistry, NullTracer, OpProfiler,
+                       Tracer, codec_byte_totals, get_tracer, hotspot_table,
+                       round_timeline_table, set_tracer, span_attr_total,
+                       span_total_seconds, tracing)
+from repro.tensor import Tensor
+from repro.tensor.tensor import set_backward_op_hook
+
+
+def _tiny_setting(n_clients=2, seed=0):
+    ds = SyntheticCIFAR10(n_samples=40 * n_clients, size=12, seed=seed)
+    parts = [np.arange(i * 40, (i + 1) * 40) for i in range(n_clients)]
+    clients = make_federated_clients(ds, parts, batch_size=20, seed=seed)
+    model_fn = lambda: build_model("resnet20", num_classes=10, input_size=12,
+                                   width_mult=0.25, seed=seed + 1)
+    return model_fn, clients
+
+
+class TestTracer:
+    def test_span_records_duration_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("work", kind="unit") as span:
+            span.set(items=3)
+        assert len(tracer.spans) == 1
+        s = tracer.spans[0]
+        assert s.name == "work"
+        assert s.attrs == {"kind": "unit", "items": 3}
+        assert s.duration >= 0.0
+
+    def test_nesting_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+
+    def test_default_tracer_is_noop(self):
+        tracer = get_tracer()
+        assert not tracer.enabled
+        assert tracer.span("anything", x=1) is NULL_SPAN
+        assert NULL_SPAN.set(a=2) is NULL_SPAN  # never stores anything
+        assert NULL_SPAN.attrs == {}
+
+    def test_tracing_context_installs_and_restores(self):
+        before = get_tracer()
+        with tracing() as tracer:
+            assert get_tracer() is tracer
+            with tracer.span("inside"):
+                pass
+        assert get_tracer() is before
+        assert [s.name for s in tracer.spans] == ["inside"]
+
+    def test_set_tracer_returns_previous(self):
+        t = Tracer()
+        prev = set_tracer(t)
+        try:
+            assert get_tracer() is t
+        finally:
+            set_tracer(prev)
+        assert isinstance(get_tracer(), (NullTracer, Tracer))
+
+    def test_chrome_trace_export_well_formed(self):
+        tracer = Tracer()
+        with tracer.span("phase", round=0, bytes=128):
+            pass
+        doc = tracer.to_chrome_trace()
+        payload = json.loads(json.dumps(doc))   # must be JSON-serialisable
+        events = payload["traceEvents"]
+        assert len(events) == 1
+        ev = events[0]
+        assert ev["ph"] == "X" and ev["name"] == "phase"
+        assert set(ev) >= {"ts", "dur", "pid", "tid", "args"}
+        assert ev["args"]["bytes"] == 128
+
+    def test_jsonl_export_parses_line_per_span(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b", n=2):
+            pass
+        lines = tracer.to_jsonl().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["name"] for r in records] == ["a", "b"]
+        assert records[1]["attrs"] == {"n": 2}
+
+    def test_span_helpers(self):
+        tracer = Tracer()
+        for nbytes in (10, 32):
+            with tracer.span("serialize", bytes=nbytes):
+                pass
+        assert span_attr_total(tracer, "serialize", "bytes") == 42
+        assert span_total_seconds(tracer, "serialize") >= 0.0
+        assert span_total_seconds(tracer, "missing") == 0.0
+
+
+class TestMetrics:
+    def test_counter_and_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc()
+        reg.counter("hits").inc(2)
+        reg.counter("hits", side="up").inc(5)
+        snap = reg.snapshot()
+        assert snap["counters"]["hits"] == 3
+        assert snap["counters"]["hits{side=up}"] == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_gauge_last_value_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("acc").set(0.5)
+        reg.gauge("acc").set(0.75)
+        assert reg.snapshot()["gauges"]["acc"] == 0.75
+
+    def test_histogram_buckets_and_summary(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", bounds=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3
+        assert s["buckets"] == [1, 1, 1]
+        assert s["min"] == 0.5 and s["max"] == 50.0
+        assert s["mean"] == pytest.approx(55.5 / 3)
+
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(1)
+        b.counter("n").inc(2)
+        a.histogram("h", bounds=(1.0,)).observe(0.5)
+        b.histogram("h", bounds=(1.0,)).observe(2.0)
+        b.gauge("g").set(7.0)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["counters"]["n"] == 3
+        assert snap["gauges"]["g"] == 7.0
+        assert snap["histograms"]["h"]["count"] == 2
+        assert snap["histograms"]["h"]["buckets"] == [1, 1]
+
+    def test_snapshot_is_json_serialisable(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(0.01)
+        json.loads(reg.to_json())
+
+
+class TestProfiler:
+    def _run_small_model(self):
+        rng = np.random.default_rng(0)
+        conv = Conv2d(3, 4, 3, padding=1, rng=rng)
+        fc = Linear(4 * 8 * 8, 10, rng=rng)
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+        out = fc(conv(x).relu().flatten_from(1))
+        out.sum().backward()
+
+    def test_records_conv_forward_and_backward(self):
+        with OpProfiler() as prof:
+            self._run_small_model()
+        assert "conv2d.forward" in prof.stats
+        assert "conv2d.backward" in prof.stats
+        assert "linear.forward" in prof.stats
+        fwd = prof.stats["conv2d.forward"]
+        assert fwd.calls == 1 and fwd.flops > 0 and fwd.seconds > 0
+
+    def test_conv_flops_match_analytic_count(self):
+        with OpProfiler() as prof:
+            self._run_small_model()
+        # conv: 2 * (out_c * ho * wo * in_c * k^2) + bias, x batch of 2
+        macs = 4 * 8 * 8 * 3 * 9
+        expected = (2 * macs + 4 * 8 * 8) * 2
+        assert prof.stats["conv2d.forward"].flops == expected
+
+    def test_uninstall_restores_originals(self):
+        original_conv = Conv2d.forward
+        original_linear = Linear.forward
+        prof = OpProfiler().install()
+        assert Conv2d.forward is not original_conv
+        prof.uninstall()
+        assert Conv2d.forward is original_conv
+        assert Linear.forward is original_linear
+        prof.uninstall()                       # idempotent
+        assert Conv2d.forward is original_conv
+
+    def test_no_recording_without_install(self):
+        prof = OpProfiler()
+        self._run_small_model()
+        assert prof.stats == {}
+        # the engine hook must be clear again after any prior uninstall
+        assert set_backward_op_hook(None) is None
+
+    def test_top_hotspots_ordering_and_report(self):
+        with OpProfiler() as prof:
+            self._run_small_model()
+        ranked = prof.top_hotspots(5)
+        seconds = [stat.seconds for _, stat in ranked]
+        assert seconds == sorted(seconds, reverse=True)
+        table = hotspot_table(prof, n=5)
+        assert "conv2d.forward" in table and "GFLOP" in table
+
+
+class TestTracedFederatedRun:
+    def test_traced_run_is_numerically_identical(self):
+        model_fn, clients = _tiny_setting()
+        plain = FedAvg(model_fn, clients, lr=0.05, local_epochs=1, seed=0)
+        plain_log = plain.run(2)
+
+        model_fn2, clients2 = _tiny_setting()
+        traced = FedAvg(model_fn2, clients2, lr=0.05, local_epochs=1, seed=0)
+        with tracing() as tracer, OpProfiler() as prof:
+            traced_log = traced.run(2)
+
+        assert traced_log["val_acc"] == plain_log["val_acc"]
+        assert traced_log["train_loss"] == plain_log["train_loss"]
+        assert tracer.spans and prof.stats
+
+    def test_codec_span_bytes_match_ledger(self):
+        model_fn, clients = _tiny_setting()
+        algo = FedAvg(model_fn, clients, lr=0.05, local_epochs=1, seed=0)
+        with tracing() as tracer:
+            algo.run(2)
+        totals = codec_byte_totals(tracer)
+        assert totals["serialize"] == algo.ledger.total_bytes()
+        assert totals["deserialize"] == algo.ledger.total_bytes()
+        # phase spans carry the same per-transfer byte attributes
+        updown = (span_attr_total(tracer, "download", "bytes")
+                  + span_attr_total(tracer, "upload", "bytes"))
+        assert updown == algo.ledger.total_bytes()
+
+    def test_round_timeline_covers_phases(self):
+        model_fn, clients = _tiny_setting()
+        algo = FedAvg(model_fn, clients, lr=0.05, local_epochs=1, seed=0)
+        with tracing() as tracer:
+            algo.run(1)
+        table = round_timeline_table(tracer)
+        for phase in ("sample", "download", "local_update", "upload",
+                      "aggregate", "evaluate"):
+            assert phase in table
+
+    def test_serialize_span_bytes_equal_wire_length(self):
+        state = {"w": np.arange(12, dtype=np.float32).reshape(3, 4),
+                 "b": np.zeros(3, dtype=np.float32)}
+        with tracing() as tracer:
+            blob = serialize_state(state)
+        spans = [s for s in tracer.spans if s.name == "serialize"]
+        assert len(spans) == 1
+        assert spans[0].attrs["bytes"] == len(blob)
+        assert spans[0].attrs["entries"] == 2

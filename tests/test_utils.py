@@ -1,5 +1,8 @@
 """Unit tests: RNG trees, metrics, logging."""
 
+import io
+import time
+
 import numpy as np
 import pytest
 
@@ -124,3 +127,26 @@ class TestRenderTable:
         # all rows same width
         widths = {len(l) for l in lines[1:]}
         assert len(widths) == 1
+
+
+class TestFromJsonRestoration:
+    def test_from_json_resets_wall_time_origin(self):
+        # A deserialised log must measure "+Xs" from the restoration
+        # moment, not inherit a perf_counter origin from a past process
+        # (raw perf_counter values are meaningless across restarts).
+        log = ExperimentLog("t")
+        log.log(acc=0.5)
+        log._t0 = time.perf_counter() - 3600.0   # simulate a stale origin
+        back = ExperimentLog.from_json(log.to_json())
+        assert time.perf_counter() - back._t0 < 60.0
+
+    def test_from_json_restores_verbose_stream(self):
+        log = ExperimentLog("t")
+        log.log(acc=0.5)
+        out = io.StringIO()
+        back = ExperimentLog.from_json(log.to_json(), stream=out,
+                                       verbose=True)
+        back.log(acc=0.75)
+        printed = out.getvalue()
+        assert "[t +0." in printed            # fresh origin: fractions of a s
+        assert "acc=0.75" in printed
