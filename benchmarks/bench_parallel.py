@@ -1,0 +1,116 @@
+"""Serial-vs-parallel round wall-time benchmark (DESIGN.md §9).
+
+Runs the same FedAvg workload under the serial executor and under
+process pools of increasing width, verifies every run is byte-identical
+to serial, and appends one record per invocation to
+``BENCH_parallel.json`` at the repo root::
+
+    python benchmarks/bench_parallel.py                    # defaults
+    python benchmarks/bench_parallel.py --clients 8 --rounds 3 \
+        --workers 1 2 4 --scale tiny
+
+Speedup is reported relative to the serial run.  On a single-core
+container expect speedup < 1 — the measurement is still the point: it
+quantifies the fan-out overhead (fork + state sync + update decode) that
+DESIGN.md §9's serial-vs-process guidance is based on.  This script is
+deliberately *not* a pytest-benchmark test: one invocation produces the
+whole curve, and the tier-1 suite already asserts the byte-identity the
+curve depends on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+
+def run_once(cfg, workers: int) -> tuple[float, bytes, list]:
+    """One full run at the given worker count; returns (wall_s, state, accs)."""
+    from repro.experiments.configs import make_algorithm, make_setting
+    from repro.fl.comm import serialize_state
+    from repro.fl.parallel import make_executor
+
+    model_fn, clients = make_setting(cfg)
+    algo = make_algorithm("fedavg", cfg, model_fn, clients,
+                          executor=make_executor(workers))
+    try:
+        t0 = time.perf_counter()
+        results = [algo.run_round(r) for r in range(cfg.rounds)]
+        wall = time.perf_counter() - t0
+        state = serialize_state(algo.global_model.state_dict())
+    finally:
+        algo.close()
+    return wall, state, [r.avg_val_acc for r in results]
+
+
+def main(argv=None) -> int:
+    """Run the curve, verify byte-identity, append to BENCH_parallel.json."""
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--scale", default=os.environ.get(
+        "REPRO_BENCH_SCALE", "tiny"), choices=["tiny", "small", "paper"])
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--rounds", type=int, default=2)
+    parser.add_argument("--local-epochs", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4],
+                        help="worker counts to sweep (1 = serial baseline)")
+    parser.add_argument("--out", default=str(OUT_PATH),
+                        help="JSON history file to append to")
+    args = parser.parse_args(argv)
+
+    from repro.experiments.configs import config_for
+    cfg = config_for(args.scale, n_clients=args.clients, sample_ratio=1.0,
+                     rounds=args.rounds, local_epochs=args.local_epochs,
+                     seed=args.seed)
+
+    sweep = sorted(set([1] + list(args.workers)))
+    rows, baseline_wall, baseline_state = [], None, None
+    for workers in sweep:
+        wall, state, accs = run_once(cfg, workers)
+        if workers == 1:
+            baseline_wall, baseline_state = wall, state
+        identical = state == baseline_state
+        rows.append({
+            "workers": workers,
+            "wall_s": round(wall, 4),
+            "wall_s_per_round": round(wall / cfg.rounds, 4),
+            "speedup_vs_serial": round(baseline_wall / wall, 4),
+            "byte_identical_to_serial": identical,
+            "final_acc": round(accs[-1], 4),
+        })
+        status = "OK" if identical else "STATE MISMATCH"
+        print(f"workers={workers:2d}  wall={wall:8.2f}s  "
+              f"speedup={baseline_wall / wall:5.2f}x  [{status}]")
+
+    record = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "scale": args.scale,
+        "config": {"clients": args.clients, "rounds": args.rounds,
+                   "local_epochs": args.local_epochs, "seed": args.seed,
+                   "model": cfg.model},
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "results": rows,
+    }
+    out = Path(args.out)
+    history = []
+    if out.exists():
+        try:
+            history = json.loads(out.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []                        # corrupt file: restart history
+    history.append(record)
+    out.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"appended to {out}")
+    return 0 if all(r["byte_identical_to_serial"] for r in rows) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -49,7 +49,8 @@ def _cfg(args, **extra):
                      fault_crash_prob=args.fault_crash,
                      fault_retries=args.fault_retries,
                      fault_seed=args.fault_seed,
-                     min_clients=args.min_clients)
+                     min_clients=args.min_clients,
+                     workers=args.workers)
     if args.rounds:
         overrides["rounds"] = args.rounds
     overrides.update(extra)
@@ -157,11 +158,14 @@ def cmd_profile(args) -> None:
         tracer = Tracer()
         previous = set_tracer(tracer)
     profiler = OpProfiler().install()
+    algo = None
     try:
         model_fn, clients = make_setting(cfg)
         algo = make_algorithm(args.algorithm, cfg, model_fn, clients)
         algo.run(cfg.rounds)
     finally:
+        if algo is not None:
+            algo.close()
         profiler.uninstall()
         if own_tracer:
             set_tracer(previous)
@@ -232,6 +236,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--target", type=float, default=0.6)
     parser.add_argument("--patience", type=int, default=5)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the per-client round loop "
+                             "(1 = in-process serial executor; N>1 fans "
+                             "clients over N processes, byte-identical "
+                             "results — see DESIGN.md §9)")
     faults = parser.add_argument_group(
         "fault injection",
         "Seeded failure simulation; all defaults leave the fault path off "

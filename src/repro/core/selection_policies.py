@@ -31,6 +31,19 @@ class SelectionPolicy:
         """False for the no-selection ablation (dense uploads)."""
         return True
 
+    def client_state(self, client_id: int):
+        """Per-client policy state to ship to a worker process.
+
+        Policies are either stateless (return None, the default) or keep
+        strictly per-client state (the RL policy's fine-tuned agents) —
+        that structure is what lets the parallel executor run clients in
+        any order while staying byte-identical to serial execution.
+        """
+        return None
+
+    def load_client_state(self, client_id: int, state) -> None:
+        """Install :meth:`client_state` output (no-op for stateless)."""
+
 
 class NoSelectionPolicy(SelectionPolicy):
     """Fig. 4 ablation: upload every parameter (SPATL w/o selection)."""
@@ -108,6 +121,20 @@ class RLSelectionPolicy(SelectionPolicy):
             clone.seed = self.pretrained.seed * 9973 + client_id
             self._client_agents[client_id] = clone
         return self._client_agents[client_id]
+
+    def client_state(self, client_id: int):
+        """The client's fine-tuned agent clone and participation count."""
+        if client_id not in self._client_agents:
+            return None
+        return {"agent": self._client_agents[client_id],
+                "participations": self._client_participations.get(client_id, 0)}
+
+    def load_client_state(self, client_id: int, state) -> None:
+        """Install a shipped agent clone + participation count."""
+        if state is None:
+            return
+        self._client_agents[client_id] = state["agent"]
+        self._client_participations[client_id] = state["participations"]
 
     def select(self, model, val_data, client_id, round_idx):
         agent = self.agent_for(client_id)

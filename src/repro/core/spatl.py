@@ -225,6 +225,42 @@ class SPATL(FederatedAlgorithm):
                 # Eq. 11: c += (|S|/N) * mean(delta c_i)  ==  sum/N
                 self.c_global.values[name] = (c_val + acc / n_all).astype(c_val.dtype)
 
+    # ------------------------------------------ parallel-execution hooks
+    def worker_sync_state(self) -> dict[str, np.ndarray]:
+        """Global model plus the server control variate (``cv.*``)."""
+        state = super().worker_sync_state()
+        if self.use_gradient_control:
+            state.update(self.c_global.as_state("cv."))
+        return state
+
+    def load_worker_sync_state(self, state: dict[str, np.ndarray]) -> None:
+        """Install model + server control variate on a worker replica."""
+        super().load_worker_sync_state(state)
+        if self.use_gradient_control:
+            for key, value in state.items():
+                if key.startswith("cv."):
+                    self.c_global.values[key[len("cv."):]] = value
+
+    def client_context(self, client: Client):
+        """Ship the client's selection-policy state (RL agent clone)."""
+        return self.selection_policy.client_state(client.client_id)
+
+    def apply_client_context(self, client: Client, context) -> None:
+        """Install shipped selection-policy state on a worker replica."""
+        self.selection_policy.load_client_state(client.client_id, context)
+
+    def client_result_context(self, client: Client):
+        """Hand back policy state and the round's selection for reports."""
+        return {"policy": self.selection_policy.client_state(client.client_id),
+                "selection": self.last_selection.get(client.client_id)}
+
+    def commit_client_result_context(self, client: Client, context) -> None:
+        """Fold a worker's policy state + selection into the parent."""
+        self.selection_policy.load_client_state(client.client_id,
+                                                context["policy"])
+        if context["selection"] is not None:
+            self.last_selection[client.client_id] = context["selection"]
+
     # ------------------------------------------------------------ eval
     def client_eval_model(self, client: Client):
         self._eval.load_encoder_state(self.global_model.encoder_state())

@@ -26,7 +26,7 @@ from repro.core import SPATL, RLSelectionPolicy, StaticSaliencyPolicy
 from repro.data import (SyntheticCIFAR10, SyntheticFEMNIST, by_writer_partition,
                         dirichlet_partition)
 from repro.fl import (ALGORITHMS, Client, FaultModel, RetryPolicy,
-                      make_federated_clients)
+                      make_executor, make_federated_clients)
 from repro.models import build_model
 from repro.rl import SalientParameterAgent
 
@@ -65,6 +65,11 @@ class ExperimentConfig:
     fault_retries: int = 2
     fault_seed: int | None = None        # defaults to `seed` when faults on
     min_clients: int = 1                 # round-commit quorum
+    # Round-execution engine (DESIGN.md §9): 1 = in-process serial executor,
+    # N>1 fans per-client exchanges over N worker processes.  Results are
+    # byte-identical either way; >1 only pays off when per-client training
+    # outweighs process fan-out overhead.
+    workers: int = 1
 
     def scaled(self, **overrides) -> "ExperimentConfig":
         return replace(self, **overrides)
@@ -162,6 +167,8 @@ def make_algorithm(name: str, cfg: ExperimentConfig, model_fn, clients,
     common = dict(lr=cfg.lr, local_epochs=cfg.local_epochs,
                   sample_ratio=cfg.sample_ratio, momentum=cfg.momentum,
                   seed=cfg.seed)
+    if cfg.workers > 1:
+        common["executor"] = make_executor(cfg.workers)
     fault_model = make_fault_model(cfg)
     if fault_model is not None:
         common.update(fault_model=fault_model,

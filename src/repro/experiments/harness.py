@@ -30,9 +30,12 @@ def run_algorithms(cfg: ExperimentConfig, algorithms: Sequence[str],
         model_fn, clients = make_setting(cfg)
         algo = make_algorithm(name, cfg, model_fn, clients)
         t0 = time.perf_counter()
-        with tracer.span("algorithm", algorithm=name, rounds=rounds):
-            log = algo.run(rounds, target_accuracy=target_accuracy,
-                           patience=patience, verbose=verbose)
+        try:
+            with tracer.span("algorithm", algorithm=name, rounds=rounds):
+                log = algo.run(rounds, target_accuracy=target_accuracy,
+                               patience=patience, verbose=verbose)
+        finally:
+            algo.close()   # release worker pools when --workers > 1
         wall = time.perf_counter() - t0
         log.meta["wall_time_s"] = wall
         get_registry().gauge("harness.wall_time_s", algorithm=name).set(wall)

@@ -11,6 +11,19 @@ baselines it compares against:
 Every byte that crosses the (simulated) network passes through
 :mod:`repro.fl.comm`, so communication-cost tables are measured, not
 estimated.
+
+Beyond the baselines, the package supplies the framework plumbing every
+algorithm rides on:
+
+- :mod:`repro.fl.parallel` — pluggable round executors: the default
+  in-process :class:`SerialExecutor` and a
+  :class:`ProcessPoolRoundExecutor` that fans per-client work over worker
+  processes with byte-identical results (DESIGN.md §9; CLI ``--workers``);
+- :mod:`repro.fl.faults` / :mod:`repro.fl.resilience` — seeded fault
+  injection and the retry/quorum recovery machinery (DESIGN.md §7);
+- :mod:`repro.fl.checkpoint` — bit-exact run checkpoint/resume;
+- :mod:`repro.fl.topk` — top-k delta sparsification with error feedback,
+  a generic-compression comparator for SPATL's structured selection.
 """
 
 from repro.fl.comm import (CommLedger, PayloadError, payload_nbytes,
@@ -19,9 +32,11 @@ from repro.fl.comm import (CommLedger, PayloadError, payload_nbytes,
                            dequantize_state)
 from repro.fl.resilience import (ClientCrashed, ClientDropped, ClientFailure,
                                  FaultStats, RetryPolicy, StragglerTimeout,
-                                 TransferCorrupted)
+                                 TransferCorrupted, WorkerCrashed)
 from repro.fl.faults import FaultModel, FaultyTransport
 from repro.fl.client import Client, make_federated_clients
+from repro.fl.parallel import (ProcessPoolRoundExecutor, RoundExecutor,
+                               SerialExecutor, make_executor)
 from repro.fl.base import FederatedAlgorithm, RoundResult, sample_clients
 from repro.fl.fedavg import FedAvg
 from repro.fl.fedprox import FedProx
@@ -45,5 +60,7 @@ __all__ = [
     "ALGORITHMS", "quantize_state", "dequantize_state",
     "FaultModel", "FaultyTransport", "RetryPolicy", "FaultStats",
     "ClientFailure", "ClientDropped", "ClientCrashed", "StragglerTimeout",
-    "TransferCorrupted",
+    "TransferCorrupted", "WorkerCrashed",
+    "RoundExecutor", "SerialExecutor", "ProcessPoolRoundExecutor",
+    "make_executor",
 ]

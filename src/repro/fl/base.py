@@ -15,10 +15,18 @@ Evaluation reports the **average local top-1 accuracy across all clients**
 (participating or not), matching §V-B: "we allocate each client a local
 non-IID training dataset and a validation dataset to evaluate the top-1
 accuracy ... among heterogeneous clients".
+
+The per-client exchange is dispatched through a pluggable *round executor*
+(see :mod:`repro.fl.parallel` and DESIGN.md §9): the default
+:class:`~repro.fl.parallel.SerialExecutor` runs clients in-process exactly
+as the original loop did, while ``ProcessPoolRoundExecutor`` fans them out
+over worker processes and commits results in deterministic client order so
+parallel runs stay seed- and byte-identical to serial ones.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
@@ -28,6 +36,7 @@ from repro.fl.client import Client
 from repro.fl.comm import (CommLedger, deserialize_state, payload_nbytes,
                            serialize_state)
 from repro.fl.faults import FaultModel, FaultyTransport
+from repro.fl.parallel import RoundExecutor, SerialExecutor
 from repro.fl.resilience import (ClientCrashed, ClientFailure, FaultStats,
                                  RetryPolicy, TransferCorrupted)
 from repro.models.split import SplitModel
@@ -87,7 +96,8 @@ class FederatedAlgorithm:
                  max_grad_norm: float | None = None, seed: int = 0,
                  fault_model: FaultModel | None = None,
                  retry_policy: RetryPolicy | None = None,
-                 min_clients: int = 1, max_round_resamples: int = 3):
+                 min_clients: int = 1, max_round_resamples: int = 3,
+                 executor: RoundExecutor | None = None):
         self.model_fn = model_fn
         self.clients = list(clients)
         if not self.clients:
@@ -123,6 +133,10 @@ class FederatedAlgorithm:
         self.transport = (FaultyTransport(fault_model, self.ledger)
                           if fault_model is not None else None)
         self.fault_stats = FaultStats()  # cumulative over the whole run
+        # Round execution engine (DESIGN.md §9).  SerialExecutor keeps the
+        # original in-process loop; ProcessPoolRoundExecutor fans clients
+        # out over worker processes with a deterministic ordered commit.
+        self.executor: RoundExecutor = executor or SerialExecutor()
 
     def epochs_for(self, client: Client, round_idx: int) -> int:
         """Local epochs this client runs this round.
@@ -152,6 +166,69 @@ class FederatedAlgorithm:
     def client_eval_model(self, client: Client):
         """Model used to evaluate ``client`` (global by default)."""
         return self.global_model
+
+    # ------------------------------------------- parallel-execution hooks
+    # These describe the server-side state a worker process needs to run
+    # one client exchange, and the per-client state it must hand back.
+    # The base implementations cover algorithms whose only per-round
+    # mutable server state is the global model (FedAvg, FedProx, FedTopK);
+    # subclasses with extra state (control variates, server momentum,
+    # selection-policy agents) extend them.  See DESIGN.md §9.
+
+    def worker_sync_state(self) -> dict[str, np.ndarray]:
+        """Server state a worker needs before running any client this round,
+        as a flat array dict (shipped through :func:`serialize_state`)."""
+        return {f"model.{k}": v
+                for k, v in self.global_model.state_dict().items()}
+
+    def load_worker_sync_state(self, state: dict[str, np.ndarray]) -> None:
+        """Install :meth:`worker_sync_state` output into this replica."""
+        model_state = {k[len("model."):]: v for k, v in state.items()
+                       if k.startswith("model.")}
+        self.global_model.load_state_dict(model_state)
+
+    def client_context(self, client: Client) -> Any:
+        """Per-client server-side state to ship *to* the worker (beyond
+        ``client.local_state``, which always travels).  None by default."""
+        return None
+
+    def apply_client_context(self, client: Client, context: Any) -> None:
+        """Install :meth:`client_context` output on a worker replica."""
+
+    def client_result_context(self, client: Client) -> Any:
+        """Per-client server-side state the worker sends *back* after the
+        exchange (e.g. updated selection-policy agents).  None by default."""
+        return None
+
+    def commit_client_result_context(self, client: Client,
+                                     context: Any) -> None:
+        """Fold a worker's :meth:`client_result_context` into the parent."""
+
+    # Class-level so the "non-dict update" warning fires once per
+    # algorithm class, not once per round.
+    _warned_lossless_update = False
+
+    def update_train_loss(self, update: Any) -> float:
+        """Extract the training loss from an update, uniformly.
+
+        Every built-in algorithm returns a dict with a ``"train_loss"``
+        key; an update without one yields ``nan`` and a single warning
+        (per algorithm class) rather than silently skewing
+        ``RoundResult.avg_train_loss`` every round.
+        """
+        if isinstance(update, dict) and "train_loss" in update:
+            return float(update["train_loss"])
+        if not type(self)._warned_lossless_update:
+            type(self)._warned_lossless_update = True
+            warnings.warn(
+                f"{type(self).__name__} updates carry no 'train_loss' key; "
+                "RoundResult.avg_train_loss will ignore them",
+                RuntimeWarning, stacklevel=2)
+        return float("nan")
+
+    def close(self) -> None:
+        """Release executor resources (worker pools). Idempotent."""
+        self.executor.close()
 
     # ------------------------------------------------------------ loop
     def run_round(self, round_idx: int) -> RoundResult:
@@ -195,7 +272,8 @@ class FederatedAlgorithm:
             self.fault_stats.merge(stats)
             with tracer.span("evaluate", round=round_idx):
                 acc = self.evaluate_all()
-            avg_loss = float(np.nanmean(losses)) if losses else float("nan")
+            finite = [v for v in losses if np.isfinite(v)]
+            avg_loss = float(np.mean(finite)) if finite else float("nan")
             result = RoundResult(round_idx, avg_loss, acc, len(updates),
                                  self.ledger.round_bytes(round_idx),
                                  n_dropped=stats.n_dropped,
@@ -217,18 +295,13 @@ class FederatedAlgorithm:
 
     def _collect_updates(self, selected: Sequence[Client], round_idx: int,
                          salt: int, stats: FaultStats):
-        """Gather surviving updates (and their losses) from a cohort."""
-        updates, losses = [], []
-        for client in selected:
-            try:
-                update = self._client_exchange(client, round_idx, salt, stats)
-            except ClientFailure as failure:
-                stats.record_failure(failure)
-                continue
-            updates.append(update)
-            losses.append(update.get("train_loss", float("nan"))
-                          if isinstance(update, dict) else float("nan"))
-        return updates, losses
+        """Gather surviving updates (and their losses) from a cohort.
+
+        Delegates to the configured :class:`RoundExecutor`; results are
+        committed in cohort order regardless of which worker finished
+        first, so every executor yields identical aggregation inputs.
+        """
+        return self.executor.collect(self, selected, round_idx, salt, stats)
 
     def _client_exchange(self, client: Client, round_idx: int, salt: int,
                          stats: FaultStats) -> Any:

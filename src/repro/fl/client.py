@@ -1,4 +1,15 @@
-"""Federated client: local data shards, local training, local evaluation."""
+"""Federated client: local data shards, local training, local evaluation.
+
+A :class:`Client` owns a non-IID train/validation shard (produced by the
+partitioners in :mod:`repro.data.partition`) plus ``local_state``, the
+algorithm-owned per-client storage that persists across rounds — control
+variates, private predictors, fine-tuned agent heads.  Because
+``local_state`` is plain arrays/dicts it travels losslessly through the
+wire codec, which is what lets the process-parallel executor
+(:mod:`repro.fl.parallel`) ship it to a worker and commit the mutated
+copy back byte-identically.  :func:`make_federated_clients` builds a
+cohort from a dataset and a partition.
+"""
 
 from __future__ import annotations
 

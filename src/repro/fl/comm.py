@@ -12,7 +12,13 @@ actually crosses the network.  This module provides:
   values + int32 filter indices + per-entry headers (the paper's
   "parameter and corresponding parameter index ... negligible burdens");
 - :class:`CommLedger` — per-round, per-direction ledger the server loop
-  writes every transfer into.
+  writes every transfer into;
+- ``encode_update``/``decode_update`` — *worker payload framing*: a
+  lossless pytree codec layered on the wire format, so the parallel
+  execution engine (:mod:`repro.fl.parallel`) can ship arbitrary
+  algorithm update objects (nested dicts/tuples of arrays and scalars)
+  between processes through the very same serializer the simulated
+  network uses.
 
 Wire format (little-endian): ``[u32 n_entries]`` then per entry
 ``[u16 name_len][name utf-8][u8 dtype_code][u8 ndim][u32 dims...]
@@ -27,9 +33,11 @@ the original format so fault-free accounting is unchanged.
 
 from __future__ import annotations
 
+import json
 import struct
 import zlib
 from collections import defaultdict
+from typing import Any
 
 import numpy as np
 
@@ -248,6 +256,93 @@ def dequantize_state(state: dict[str, np.ndarray],
     return out
 
 
+# --------------------------------------------------------------------------
+# Worker payload framing: a pytree codec on top of the wire format.
+#
+# Algorithm update objects are nested Python structures (dicts of arrays,
+# tuples of (indices, values), scalar step counts...).  The parallel
+# execution engine needs to move them between processes *losslessly* and
+# through the same serializer the simulated network uses, so traces and
+# accounting exercise one code path.  The framing flattens the structure
+# into (a) positional array entries and (b) a JSON manifest describing the
+# tree, then hands both to :func:`serialize_state`.
+
+_MANIFEST_KEY = "__pytree__"
+
+
+def _flatten_node(node: Any, arrays: dict[str, np.ndarray]) -> Any:
+    """Recursively convert ``node`` into a JSON-able manifest, moving every
+    array (and numpy scalar) into ``arrays`` under a positional key."""
+    if isinstance(node, np.ndarray):
+        key = f"t{len(arrays)}"
+        arrays[key] = node
+        return {"k": "arr", "id": key}
+    if isinstance(node, np.generic):          # numpy scalar: keep exact dtype
+        key = f"t{len(arrays)}"
+        arrays[key] = np.asarray(node)
+        return {"k": "np", "id": key}
+    if isinstance(node, dict):
+        items = []
+        for name, value in node.items():
+            if not isinstance(name, str):
+                raise TypeError(
+                    f"update dict keys must be str, got {type(name).__name__}")
+            items.append([name, _flatten_node(value, arrays)])
+        return {"k": "dict", "items": items}
+    if isinstance(node, tuple):
+        return {"k": "tuple", "items": [_flatten_node(v, arrays) for v in node]}
+    if isinstance(node, list):
+        return {"k": "list", "items": [_flatten_node(v, arrays) for v in node]}
+    if node is None or isinstance(node, (bool, int, float, str)):
+        return {"k": "val", "v": node}
+    raise TypeError(f"cannot frame update node of type {type(node).__name__}")
+
+
+def _unflatten_node(manifest: Any, arrays: dict[str, np.ndarray]) -> Any:
+    """Inverse of :func:`_flatten_node`."""
+    kind = manifest["k"]
+    if kind == "arr":
+        return arrays[manifest["id"]]
+    if kind == "np":
+        return arrays[manifest["id"]][()]
+    if kind == "dict":
+        return {name: _unflatten_node(v, arrays)
+                for name, v in manifest["items"]}
+    if kind == "tuple":
+        return tuple(_unflatten_node(v, arrays) for v in manifest["items"])
+    if kind == "list":
+        return [_unflatten_node(v, arrays) for v in manifest["items"]]
+    if kind == "val":
+        return manifest["v"]
+    raise PayloadError(f"unknown pytree node kind {kind!r}")
+
+
+def encode_update(update: Any, checksums: bool = False) -> bytes:
+    """Frame an arbitrary algorithm update object as wire bytes.
+
+    Supports nested dicts (str keys), tuples, lists, numpy arrays and
+    scalars, and the JSON-able primitives (``int``/``float``/``bool``/
+    ``str``/``None``).  The encoding is lossless: python floats round-trip
+    via JSON's shortest-repr, arrays via their raw bytes — so a decoded
+    update aggregates byte-identically to the original.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    manifest = _flatten_node(update, arrays)
+    raw = json.dumps(manifest, separators=(",", ":")).encode("utf-8")
+    arrays[_MANIFEST_KEY] = np.frombuffer(raw, dtype=np.uint8)
+    return serialize_state(arrays, checksums=checksums)
+
+
+def decode_update(payload: bytes, checksums: bool = False) -> Any:
+    """Decode bytes produced by :func:`encode_update`."""
+    arrays = deserialize_state(payload, checksums=checksums)
+    if _MANIFEST_KEY not in arrays:
+        raise PayloadError("framed update lacks its pytree manifest",
+                           entry=_MANIFEST_KEY)
+    raw = bytes(arrays.pop(_MANIFEST_KEY))
+    return _unflatten_node(json.loads(raw.decode("utf-8")), arrays)
+
+
 class CommLedger:
     """Accumulates communicated bytes by round, client, and direction."""
 
@@ -262,6 +357,20 @@ class CommLedger:
     def record_down(self, round_idx: int, client_id: int, nbytes: int) -> None:
         self.downlink[round_idx][client_id] = \
             self.downlink[round_idx].get(client_id, 0) + int(nbytes)
+
+    def merge(self, other: "CommLedger") -> None:
+        """Fold another ledger's traffic into this one.
+
+        Used by the parallel execution engine: each worker charges a fresh
+        per-task ledger, and the parent merges them in deterministic client
+        order so parallel accounting equals serial accounting exactly.
+        """
+        for round_idx, per_client in other.uplink.items():
+            for client_id, nbytes in per_client.items():
+                self.record_up(round_idx, client_id, nbytes)
+        for round_idx, per_client in other.downlink.items():
+            for client_id, nbytes in per_client.items():
+                self.record_down(round_idx, client_id, nbytes)
 
     def round_bytes(self, round_idx: int) -> int:
         up = sum(self.uplink.get(round_idx, {}).values())

@@ -1,4 +1,12 @@
-"""FedAvg (McMahan et al., AISTATS 2017) — the cost benchmark of Table I."""
+"""FedAvg (McMahan et al., AISTATS 2017) — the cost benchmark of Table I.
+
+The simplest baseline the paper compares against, and the 1x reference
+for every speed-up column: each sampled client downloads the full global
+model, trains locally, uploads the full model back, and the server takes
+the example-weighted average.  It carries no server-side optimizer state
+and no per-client state, so its hooks double as the minimal example of
+the :class:`~repro.fl.base.FederatedAlgorithm` contract.
+"""
 
 from __future__ import annotations
 

@@ -41,6 +41,19 @@ class FedNova(FederatedAlgorithm):
         self._server_momentum: dict[str, np.ndarray] = {
             n: np.zeros_like(p.data) for n, p in self.global_model.named_parameters()}
 
+    def worker_sync_state(self) -> dict[str, np.ndarray]:
+        """Global model plus the server momentum buffer (``sm.*``)."""
+        state = super().worker_sync_state()
+        state.update({f"sm.{n}": v for n, v in self._server_momentum.items()})
+        return state
+
+    def load_worker_sync_state(self, state: dict[str, np.ndarray]) -> None:
+        """Install model + server momentum on a worker replica."""
+        super().load_worker_sync_state(state)
+        for key, value in state.items():
+            if key.startswith("sm."):
+                self._server_momentum[key[len("sm."):]] = value
+
     def download_payload(self, client: Client) -> dict[str, np.ndarray]:
         payload = self.global_model.state_dict()
         payload.update({f"server_momentum.{n}": v

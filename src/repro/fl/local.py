@@ -1,4 +1,14 @@
-"""Local-training helpers shared by all FL algorithms."""
+"""Local-training helpers shared by all FL algorithms.
+
+:func:`train_local` is the one SGD loop every algorithm's
+``local_update`` delegates to; algorithm-specific behaviour plugs in via
+hooks rather than subclassed loops — ``correction_hook`` for
+SCAFFOLD/SPATL control variates (Eq. 9), ``extra_loss`` for FedProx's
+proximal term, ``param_filter`` to restrict training to the encoder.
+:func:`weighted_average_states` is the FedAvg server-side reduction.
+Both are pure with respect to server state, which is what makes them
+safe to run inside worker processes (DESIGN.md §9).
+"""
 
 from __future__ import annotations
 

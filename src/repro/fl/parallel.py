@@ -1,0 +1,352 @@
+"""Pluggable round-execution engines: serial and process-parallel.
+
+SPATL's round loop is embarrassingly parallel across clients — each
+sampled client independently downloads the global state, trains locally,
+and uploads its salient parameters — yet the original
+``FederatedAlgorithm._collect_updates`` ran clients strictly
+sequentially, capping round wall-time at one core.  This module supplies
+the executor abstraction behind that loop (DESIGN.md §9):
+
+- :class:`SerialExecutor` — the default; replicates the original
+  in-process loop exactly (same objects, same call order, zero overhead);
+- :class:`ProcessPoolRoundExecutor` — fans the per-client
+  download → train → upload exchange over a ``ProcessPoolExecutor``.
+
+Parallel runs are **seed- and byte-identical** to serial runs because
+
+1. every random draw is keyed by ``(seed, purpose, round, client, ...)``
+   through ``SeedSequence`` trees, so draws are order-independent;
+2. state crossing the process boundary goes through lossless codecs: the
+   global sync state and the update objects through the very wire codec
+   (:mod:`repro.fl.comm`) the simulated network uses, per-client extras
+   through pickle;
+3. the parent commits results — client ``local_state``, policy state,
+   ledger traffic, fault stats, metrics, trace spans, and finally the
+   update itself — in deterministic cohort order, regardless of which
+   worker finished first.
+
+A worker process that *dies* (segfault, OOM-kill) surfaces as
+:class:`~repro.fl.resilience.WorkerCrashed`: it propagates when no fault
+model is configured, otherwise the client is recorded as dropped and the
+pool is rebuilt for the next collect.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing as mp
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.fl.comm import (CommLedger, decode_update, deserialize_state,
+                           encode_update, serialize_state)
+from repro.fl.resilience import ClientFailure, FaultStats, WorkerCrashed
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+from repro.obs.trace import NullTracer, Tracer, get_tracer, set_tracer
+
+
+class RoundExecutor:
+    """Strategy interface for gathering one round's client updates.
+
+    ``collect`` receives the algorithm, the sampled cohort, and the
+    round's fault bookkeeping, and must return ``(updates, losses)``
+    exactly as the original sequential loop would have — including all
+    side effects on client state, the ledger, metrics, and traces.
+    """
+
+    def collect(self, algorithm: Any, selected: Sequence[Any],
+                round_idx: int, salt: int,
+                stats: FaultStats) -> tuple[list[Any], list[float]]:
+        """Run the cohort's exchanges; return surviving updates + losses."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (worker pools). Idempotent no-op here."""
+
+
+class SerialExecutor(RoundExecutor):
+    """In-process executor: the original sequential loop, verbatim.
+
+    This is the default and the fallback: no serialization, no extra
+    processes, and — because it calls ``_client_exchange`` on the very
+    same objects — guaranteed-identical behaviour to the pre-executor
+    code path.  It is also the faster choice for small models, where
+    process fan-out overhead (fork + state sync + update decode) exceeds
+    per-client training time; see DESIGN.md §9 for guidance.
+    """
+
+    def collect(self, algorithm, selected, round_idx, salt, stats):
+        """Exchange with each client in cohort order, in this process."""
+        updates, losses = [], []
+        for client in selected:
+            try:
+                update = algorithm._client_exchange(client, round_idx, salt,
+                                                    stats)
+            except ClientFailure as failure:
+                stats.record_failure(failure)
+                continue
+            updates.append(update)
+            losses.append(algorithm.update_train_loss(update))
+        return updates, losses
+
+
+@contextlib.contextmanager
+def _untraced():
+    """Silence the tracer for executor plumbing.
+
+    The sync-blob and update-framing codec calls are infrastructure, not
+    simulated network traffic: tracing them would add ``serialize`` /
+    ``deserialize`` spans a serial run does not have, and — because codec
+    spans carry byte counts — break the invariant that traced codec byte
+    totals equal the :class:`CommLedger` totals.
+    """
+    previous = set_tracer(NullTracer())
+    try:
+        yield
+    finally:
+        set_tracer(previous)
+
+
+# ---------------------------------------------------------------- worker
+# Module-level state installed once per worker process by the pool
+# initializer, then reused across tasks: the unpickled algorithm replica,
+# its clients by id, and the version of the last-applied sync state.
+
+_WORKER_ALGO: Any = None
+_WORKER_CLIENTS: dict[int, Any] = {}
+_WORKER_SYNC_VERSION: int = -1
+
+
+def _pickle_algorithm(algorithm: Any) -> bytes:
+    """Pickle an algorithm for worker replicas.
+
+    ``model_fn`` is typically a closure (unpicklable) and the executor
+    must not recurse into itself, so both are detached for the dump and
+    restored after; workers never call either — models already exist on
+    the replica and workers only run ``_client_exchange``.
+    """
+    saved = {}
+    try:
+        for attr in ("model_fn", "executor"):
+            saved[attr] = getattr(algorithm, attr)
+            setattr(algorithm, attr, None)
+        return pickle.dumps(algorithm)
+    finally:
+        for attr, value in saved.items():
+            setattr(algorithm, attr, value)
+
+
+def _worker_init(algo_blob: bytes) -> None:
+    """Pool initializer: install the algorithm replica in this process."""
+    global _WORKER_ALGO, _WORKER_CLIENTS, _WORKER_SYNC_VERSION
+    _WORKER_ALGO = pickle.loads(algo_blob)
+    _WORKER_CLIENTS = {c.client_id: c for c in _WORKER_ALGO.clients}
+    _WORKER_SYNC_VERSION = -1
+
+
+@dataclass
+class _ClientTask:
+    """Everything a worker needs to run one client's exchange."""
+
+    client_id: int
+    round_idx: int
+    salt: int
+    sync_version: int        # bumped per collect; workers re-sync on change
+    sync_blob: bytes         # serialize_state(algorithm.worker_sync_state())
+    local_state_blob: bytes  # pickled client.local_state
+    context_blob: bytes      # pickled algorithm.client_context(client)
+    traced: bool             # parent tracer enabled → record worker spans
+
+
+@dataclass
+class _ClientOutcome:
+    """Everything the parent must commit, in cohort order."""
+
+    client_id: int
+    update_blob: bytes | None         # encode_update(update); None on failure
+    failure: ClientFailure | None
+    train_loss: float
+    local_state_blob: bytes           # pickled post-exchange local_state
+    result_context_blob: bytes        # pickled client_result_context(client)
+    stats: FaultStats                 # attempt-level counters from the worker
+    ledger: CommLedger                # this task's traffic (merged by parent)
+    metrics: MetricsRegistry          # this task's instruments (merged)
+    trace_records: list = field(default_factory=list)
+
+
+def _run_client_task(task: _ClientTask) -> _ClientOutcome:
+    """Execute one client exchange inside a worker process.
+
+    The worker re-points the replica's ledger/metrics/tracer at fresh
+    per-task instances so nothing double-counts: the parent merges each
+    outcome exactly once, in cohort order.  The sync blob is applied only
+    when its version changed, so the (large) global state deserializes
+    once per worker per round, not once per client.
+    """
+    global _WORKER_SYNC_VERSION
+    algo = _WORKER_ALGO
+    tracer = Tracer() if task.traced else NullTracer()
+    set_tracer(tracer)
+    if task.sync_version != _WORKER_SYNC_VERSION:
+        with _untraced():
+            algo.load_worker_sync_state(deserialize_state(task.sync_blob))
+        _WORKER_SYNC_VERSION = task.sync_version
+    client = _WORKER_CLIENTS[task.client_id]
+    client.local_state = pickle.loads(task.local_state_blob)
+    context = pickle.loads(task.context_blob)
+    if context is not None:
+        algo.apply_client_context(client, context)
+
+    ledger = CommLedger()
+    algo.ledger = ledger
+    if algo.transport is not None:
+        algo.transport.ledger = ledger
+    registry = MetricsRegistry()
+    set_registry(registry)
+
+    stats = FaultStats()
+    failure: ClientFailure | None = None
+    update_blob: bytes | None = None
+    train_loss = float("nan")
+    try:
+        update = algo._client_exchange(client, task.round_idx, task.salt,
+                                       stats)
+    except ClientFailure as err:
+        failure = err
+    else:
+        train_loss = algo.update_train_loss(update)
+        with _untraced():
+            update_blob = encode_update(update)
+    return _ClientOutcome(
+        client_id=task.client_id,
+        update_blob=update_blob,
+        failure=failure,
+        train_loss=train_loss,
+        local_state_blob=pickle.dumps(client.local_state),
+        result_context_blob=pickle.dumps(algo.client_result_context(client)),
+        stats=stats,
+        ledger=ledger,
+        metrics=registry,
+        trace_records=tracer.records() if task.traced else [],
+    )
+
+
+# ---------------------------------------------------------------- parent
+class ProcessPoolRoundExecutor(RoundExecutor):
+    """Fan per-client exchanges over a pool of worker processes.
+
+    The pool is built lazily on first ``collect`` for a given algorithm
+    (each worker unpickles one algorithm replica in its initializer) and
+    reused across rounds; per-round server state travels as one
+    versioned ``serialize_state`` blob per task, applied at most once
+    per worker per round.  Results are committed strictly in cohort
+    order — see the module docstring for the determinism argument.
+
+    ``mp_context`` defaults to ``fork`` where available (cheap replica
+    setup via copy-on-write; also required for algorithm classes defined
+    in non-importable modules) and falls back to ``spawn``.
+    """
+
+    def __init__(self, workers: int, mp_context: Any = None):
+        if workers < 2:
+            raise ValueError("ProcessPoolRoundExecutor needs >= 2 workers; "
+                             "use SerialExecutor (or make_executor) instead")
+        self.workers = workers
+        if mp_context is None:
+            method = ("fork" if "fork" in mp.get_all_start_methods()
+                      else "spawn")
+            mp_context = mp.get_context(method)
+        elif isinstance(mp_context, str):
+            mp_context = mp.get_context(mp_context)
+        self._mp_context = mp_context
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_owner: int | None = None   # id() of the bound algorithm
+        self._sync_version = 0
+
+    def _ensure_pool(self, algorithm) -> ProcessPoolExecutor:
+        """The live pool for ``algorithm``, (re)building if needed."""
+        if self._pool is not None and self._pool_owner == id(algorithm):
+            return self._pool
+        self.close()
+        blob = _pickle_algorithm(algorithm)
+        self._pool = ProcessPoolExecutor(max_workers=self.workers,
+                                         mp_context=self._mp_context,
+                                         initializer=_worker_init,
+                                         initargs=(blob,))
+        self._pool_owner = id(algorithm)
+        return self._pool
+
+    def collect(self, algorithm, selected, round_idx, salt, stats):
+        """Dispatch the cohort to workers; commit results in cohort order."""
+        tracer = get_tracer()
+        pool = self._ensure_pool(algorithm)
+        self._sync_version += 1
+        with _untraced():
+            sync_blob = serialize_state(algorithm.worker_sync_state())
+        tasks = [
+            _ClientTask(client_id=client.client_id, round_idx=round_idx,
+                        salt=salt, sync_version=self._sync_version,
+                        sync_blob=sync_blob,
+                        local_state_blob=pickle.dumps(client.local_state),
+                        context_blob=pickle.dumps(
+                            algorithm.client_context(client)),
+                        traced=tracer.enabled)
+            for client in selected
+        ]
+        futures = [pool.submit(_run_client_task, task) for task in tasks]
+
+        updates: list[Any] = []
+        losses: list[float] = []
+        registry = get_registry()
+        broken = False
+        for client, future in zip(selected, futures):
+            try:
+                outcome = future.result()
+            except BrokenProcessPool:
+                broken = True
+                crash = WorkerCrashed(client.client_id, round_idx,
+                                      "executor worker process died")
+                if algorithm.fault_model is None:
+                    self.close()
+                    raise crash from None
+                stats.record_failure(crash)
+                continue
+            # Commit everything the exchange touched *before* looking at
+            # success/failure: in serial execution a client that trained
+            # but failed its upload still mutated its local state and
+            # charged the ledger for every attempt.
+            client.local_state = pickle.loads(outcome.local_state_blob)
+            result_context = pickle.loads(outcome.result_context_blob)
+            if result_context is not None:
+                algorithm.commit_client_result_context(client, result_context)
+            algorithm.ledger.merge(outcome.ledger)
+            stats.merge(outcome.stats)
+            registry.merge(outcome.metrics)
+            if tracer.enabled and outcome.trace_records:
+                tracer.absorb(outcome.trace_records, base_depth=tracer.depth)
+            if outcome.failure is not None:
+                stats.record_failure(outcome.failure)
+                continue
+            with _untraced():
+                updates.append(decode_update(outcome.update_blob))
+            losses.append(outcome.train_loss)
+        if broken:
+            self.close()   # next collect rebuilds a healthy pool
+        return updates, losses
+
+    def close(self) -> None:
+        """Shut the pool down (cancelling queued tasks). Idempotent."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+            self._pool_owner = None
+
+
+def make_executor(workers: int, mp_context: Any = None) -> RoundExecutor:
+    """Executor for ``workers`` processes: serial for <= 1, pooled above."""
+    if workers <= 1:
+        return SerialExecutor()
+    return ProcessPoolRoundExecutor(workers, mp_context=mp_context)

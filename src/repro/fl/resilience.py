@@ -24,6 +24,24 @@ from dataclasses import dataclass, fields
 from repro.obs.metrics import get_registry
 
 
+def _rebuild_failure(cls: type, client_id: int, round_idx: int,
+                     reason: str) -> "ClientFailure":
+    """Reconstruct a failure after a cross-process hop (pickle target).
+
+    Subclass ``__init__`` signatures differ (duration, cause...), so
+    rebuilding goes through ``__new__`` + the base initializer: the class
+    identity, message, and core fields survive; subclass-only extras
+    (which may themselves be unpicklable) do not.
+    """
+    failure = ClientFailure.__new__(cls)
+    RuntimeError.__init__(failure,
+                          f"client {client_id} round {round_idx}: {reason}")
+    failure.client_id = client_id
+    failure.round_idx = round_idx
+    failure.reason = reason
+    return failure
+
+
 class ClientFailure(RuntimeError):
     """A client failed to deliver a usable update this attempt."""
 
@@ -34,6 +52,11 @@ class ClientFailure(RuntimeError):
         self.round_idx = round_idx
         self.reason = reason
 
+    def __reduce__(self):
+        """Pickle support for shipping failures out of worker processes."""
+        return (_rebuild_failure,
+                (type(self), self.client_id, self.round_idx, self.reason))
+
 
 class ClientDropped(ClientFailure):
     """The client was unreachable (offline before/while participating)."""
@@ -43,6 +66,14 @@ class ClientCrashed(ClientDropped):
     """The client crashed mid-training; its persistent state is rolled
     back to the pre-round snapshot, as a real restarted process would
     reload it from disk."""
+
+
+class WorkerCrashed(ClientDropped):
+    """The *executor worker process* running this client died (segfault,
+    OOM-kill, ``os._exit``).  Unlike the simulated faults above this is a
+    real infrastructure failure: with no fault model configured it
+    propagates out of ``run_round``; with one, the client is recorded as
+    dropped and the pool is rebuilt (DESIGN.md §9)."""
 
 
 class StragglerTimeout(ClientFailure):

@@ -54,6 +54,19 @@ class Scaffold(FederatedAlgorithm):
                                          for n, v in self.c_global.items()}
         return client.local_state["c_i"]
 
+    def worker_sync_state(self) -> dict[str, np.ndarray]:
+        """Global model plus the server control variate (``cv.*``)."""
+        state = super().worker_sync_state()
+        state.update({f"cv.{n}": v for n, v in self.c_global.items()})
+        return state
+
+    def load_worker_sync_state(self, state: dict[str, np.ndarray]) -> None:
+        """Install model + server control variate on a worker replica."""
+        super().load_worker_sync_state(state)
+        for key, value in state.items():
+            if key.startswith("cv."):
+                self.c_global[key[len("cv."):]] = value
+
     def download_payload(self, client: Client) -> dict[str, np.ndarray]:
         payload = self.global_model.state_dict()
         payload.update({f"c.{n}": v for n, v in self.c_global.items()})

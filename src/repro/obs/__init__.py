@@ -18,6 +18,12 @@ free when disabled:
 ``repro.obs.report`` renders hotspot and round-timeline tables from the
 collected data (CLI command ``profile``; flags ``--trace-out`` /
 ``--metrics-out`` on every experiment command).
+
+All three instruments compose with parallel client execution
+(DESIGN.md §9): workers record into fresh per-task instruments and the
+parent merges them — :meth:`MetricsRegistry.merge`,
+:meth:`Tracer.absorb` — so a ``--workers N`` run reports the same
+counters, span counts, and codec byte totals as the serial run.
 """
 
 from repro.obs.trace import (NULL_SPAN, NullTracer, Span, Tracer, get_tracer,

@@ -139,6 +139,43 @@ class Tracer:
             self._stack.remove(span)
         self.spans.append(span)
 
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (number of open spans)."""
+        return len(self._stack)
+
+    def records(self) -> list[dict[str, Any]]:
+        """Finished spans as plain dicts (JSON-able, picklable).
+
+        The format is the JSONL export schema: ``name``, ``start_s`` /
+        ``dur_s`` relative to tracer creation, ``depth``, and ``attrs``
+        when present.  This is also the wire format worker processes use
+        to hand their spans back to the parent (see :meth:`absorb`).
+        """
+        return self._records()
+
+    def absorb(self, records: list[dict[str, Any]],
+               base_depth: int = 0) -> None:
+        """Append spans recorded by *another* tracer (typically in a
+        worker process) into this timeline.
+
+        Spans are re-anchored so the absorbed group starts at this
+        tracer's current elapsed time, and every depth is offset by
+        ``base_depth`` — pass the parent's open-span :attr:`depth` so
+        worker spans nest under the span that was open when their work
+        was dispatched.  Wall-clock *durations* are preserved; absolute
+        placement is not meaningful across processes.
+        """
+        now = time.perf_counter()
+        for rec in records:
+            span = Span(self, rec["name"], dict(rec.get("attrs", {})))
+            span.t_start = now + rec["start_s"]
+            span.t_end = span.t_start + rec["dur_s"]
+            span.depth = base_depth + rec["depth"]
+            span.index = self._counter
+            self._counter += 1
+            self.spans.append(span)
+
     # ------------------------------------------------------------ export
     def _records(self) -> list[dict[str, Any]]:
         ordered = sorted(self.spans, key=lambda s: s.index)

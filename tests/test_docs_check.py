@@ -1,0 +1,46 @@
+"""The docs-check CI gate works in both directions (tools/docs_check.py).
+
+Asserts the current tree passes, and that the check is not vacuous: it
+must fail if ``--workers`` disappeared from README.md or a ``DESIGN.md
+§N`` reference pointed at a missing section.
+"""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "docs_check", REPO_ROOT / "tools" / "docs_check.py")
+docs_check = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(docs_check)
+
+
+def test_current_tree_passes():
+    """Every CLI flag is in README and every DESIGN §N reference resolves."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert docs_check.undocumented_flags(readme) == []
+    design = (REPO_ROOT / "DESIGN.md").read_text()
+    refs = docs_check.referenced_design_sections()
+    assert docs_check.missing_design_sections(design, refs) == {}
+    assert "9" in refs, "DESIGN.md §9 should be referenced by the sources"
+
+
+def test_removing_workers_from_readme_fails():
+    """The flag check is live: dropping --workers from README is a failure."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    stripped = readme.replace("--workers", "")
+    assert "--workers" in docs_check.undocumented_flags(stripped)
+
+
+def test_dangling_design_reference_fails():
+    """The section check is live: a §99 reference has no matching heading."""
+    design = (REPO_ROOT / "DESIGN.md").read_text()
+    refs = {"99": {"src/fake.py"}}
+    assert docs_check.missing_design_sections(design, refs) == refs
+
+
+def test_main_exits_zero_on_current_tree(capsys):
+    """The CLI entry point agrees with the pure functions."""
+    assert docs_check.main() == 0
+    assert "docs-check: OK" in capsys.readouterr().out

@@ -1,0 +1,348 @@
+"""Parallel round-execution engine: equivalence, crashes, obs merge.
+
+The contract under test (DESIGN.md §9): a ``ProcessPoolRoundExecutor``
+run is *byte-identical* to a ``SerialExecutor`` run — same global model
+bytes, same ``RoundResult`` fields, same fault statistics, same metric
+counters, and the same span multiset when traced — because all RNG is
+order-independent and the parent commits worker results in cohort order.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import warnings
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.data import dirichlet_partition
+from repro.fl import make_federated_clients
+from repro.fl.comm import (CommLedger, PayloadError, decode_update,
+                           encode_update, serialize_state)
+from repro.fl.faults import FaultModel
+from repro.fl.fedavg import FedAvg
+from repro.fl.parallel import (ProcessPoolRoundExecutor, SerialExecutor,
+                               make_executor)
+from repro.fl.resilience import (ClientDropped, StragglerTimeout,
+                                 TransferCorrupted, WorkerCrashed)
+from repro.core.spatl import SPATL
+from repro.core.selection_policies import StaticSaliencyPolicy
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.obs.trace import tracing
+
+N_CLIENTS = 8
+ROUNDS = 2
+
+
+@pytest.fixture
+def eight_client_setting(tiny_dataset, tiny_model_fn):
+    """(model_fn, make_clients) with an 8-client partition.
+
+    Clients are rebuilt per run so persistent local state (predictors,
+    control variates, top-k residuals) never leaks between the serial
+    and parallel runs being compared.
+    """
+    parts = dirichlet_partition(tiny_dataset.y, N_CLIENTS, beta=0.5, seed=7)
+
+    def make_clients():
+        return make_federated_clients(tiny_dataset, parts, batch_size=32,
+                                      seed=5)
+
+    return tiny_model_fn, make_clients
+
+
+def _fault_model():
+    return FaultModel(drop_prob=0.2, corrupt_prob=0.05, crash_prob=0.1,
+                      seed=21)
+
+
+def _build(algo_name, model_fn, clients, workers, fault_model=None):
+    common = dict(lr=0.05, local_epochs=1, sample_ratio=1.0, seed=0,
+                  fault_model=fault_model, executor=make_executor(workers))
+    if algo_name == "spatl":
+        return SPATL(model_fn, clients,
+                     selection_policy=StaticSaliencyPolicy(0.3), **common)
+    return FedAvg(model_fn, clients, **common)
+
+
+def _run(algo_name, setting, workers, fault_model=None, traced=False):
+    model_fn, make_clients = setting
+    algo = _build(algo_name, model_fn, make_clients(), workers, fault_model)
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    tracer = None
+    try:
+        if traced:
+            with tracing() as tracer:
+                results = [algo.run_round(r) for r in range(ROUNDS)]
+        else:
+            results = [algo.run_round(r) for r in range(ROUNDS)]
+    finally:
+        set_registry(previous)
+        algo.close()
+    return {
+        "results": results,
+        "state": serialize_state(algo.global_model.state_dict()),
+        "fault_stats": algo.fault_stats.as_dict(),
+        "counters": registry.snapshot()["counters"],
+        "tracer": tracer,
+    }
+
+
+def _assert_round_results_equal(lhs, rhs):
+    """RoundResult equality with NaN-tolerant loss comparison."""
+    assert len(lhs) == len(rhs)
+    for a, b in zip(lhs, rhs):
+        assert (a.avg_train_loss == b.avg_train_loss
+                or (math.isnan(a.avg_train_loss)
+                    and math.isnan(b.avg_train_loss)))
+        for field in ("round_idx", "avg_val_acc", "n_participants",
+                      "round_bytes", "n_dropped", "n_retries", "n_corrupt",
+                      "n_resamples", "committed"):
+            assert getattr(a, field) == getattr(b, field), field
+
+
+# ------------------------------------------------------------ equivalence
+@pytest.mark.parametrize("algo_name", ["fedavg", "spatl"])
+@pytest.mark.parametrize("faults", [False, True], ids=["clean", "faults"])
+def test_parallel_matches_serial(eight_client_setting, algo_name, faults):
+    fault_model = _fault_model() if faults else None
+    serial = _run(algo_name, eight_client_setting, 1, fault_model)
+    parallel = _run(algo_name, eight_client_setting, 2, fault_model)
+    assert serial["state"] == parallel["state"]          # byte-identical
+    _assert_round_results_equal(serial["results"], parallel["results"])
+    assert serial["fault_stats"] == parallel["fault_stats"]
+    assert serial["counters"] == parallel["counters"]
+
+
+def test_parallel_spatl_local_state_round_trips(eight_client_setting):
+    """Predictors/variates mutated in workers land back on parent clients."""
+    model_fn, make_clients = eight_client_setting
+    serial_clients = make_clients()
+    parallel_clients = make_clients()
+    for clients, workers in ((serial_clients, 1), (parallel_clients, 2)):
+        algo = _build("spatl", model_fn, clients, workers)
+        for r in range(ROUNDS):
+            algo.run_round(r)
+        algo.close()
+    for cs, cp in zip(serial_clients, parallel_clients):
+        assert set(cs.local_state) == set(cp.local_state)
+        assert cs.local_state["predictor"].keys() \
+            == cp.local_state["predictor"].keys()
+        for name, value in cs.local_state["predictor"].items():
+            np.testing.assert_array_equal(
+                value, cp.local_state["predictor"][name])
+        for name, value in cs.local_state["c_i"].values.items():
+            np.testing.assert_array_equal(
+                value, cp.local_state["c_i"].values[name])
+
+
+# ------------------------------------------------------------ obs merge
+def test_obs_merge_matches_serial(eight_client_setting):
+    """Worker spans/metrics merged into the parent sum to serial counts."""
+    fault_model = _fault_model()   # nonzero worker-side attempt counters
+    serial = _run("fedavg", eight_client_setting, 1, fault_model,
+                  traced=True)
+    parallel = _run("fedavg", eight_client_setting, 2, fault_model,
+                    traced=True)
+    assert serial["counters"] == parallel["counters"]
+    span_names_s = Counter(s.name for s in serial["tracer"].spans)
+    span_names_p = Counter(s.name for s in parallel["tracer"].spans)
+    assert span_names_s == span_names_p
+    # Codec spans carry byte counts; their totals must agree (and match
+    # the ledger — the §8 cross-check) despite the extra plumbing codec
+    # traffic parallel execution adds, which is deliberately untraced.
+    for direction in ("serialize", "deserialize"):
+        tot_s = sum(s.attrs.get("bytes", 0)
+                    for s in serial["tracer"].spans if s.name == direction)
+        tot_p = sum(s.attrs.get("bytes", 0)
+                    for s in parallel["tracer"].spans if s.name == direction)
+        assert tot_s == tot_p
+
+
+def test_tracer_absorb_depth_and_records():
+    from repro.obs.trace import Tracer
+    worker = Tracer()
+    with worker.span("download", client=3):
+        with worker.span("deserialize"):
+            pass
+    parent = Tracer()
+    with parent.span("round", round=0):
+        parent.absorb(worker.records(), base_depth=parent.depth)
+    depths = {s.name: s.depth for s in parent.spans}
+    assert depths == {"round": 0, "download": 1, "deserialize": 2}
+    names = {s.name for s in parent.spans}
+    assert names == {"round", "download", "deserialize"}
+    assert [s.attrs for s in parent.spans if s.name == "download"] \
+        == [{"client": 3}]
+
+
+# ------------------------------------------------------------ crashes
+class ExitingFedAvg(FedAvg):
+    """FedAvg whose client 2 kills its whole worker process in round 0."""
+
+    name = "exiting-fedavg"
+
+    def local_update(self, client, round_idx):
+        if client.client_id == 2 and round_idx == 0:
+            os._exit(13)
+        return super().local_update(client, round_idx)
+
+
+def test_worker_crash_raises_without_fault_model(eight_client_setting):
+    model_fn, make_clients = eight_client_setting
+    algo = ExitingFedAvg(model_fn, make_clients(), lr=0.05, local_epochs=1,
+                         sample_ratio=1.0, seed=0,
+                         executor=ProcessPoolRoundExecutor(2))
+    try:
+        with pytest.raises(WorkerCrashed):
+            algo.run_round(0)
+    finally:
+        algo.close()
+
+
+def test_worker_crash_drops_client_with_fault_model(eight_client_setting):
+    """With faults configured the crash degrades the round, then the pool
+    rebuilds and the next round runs clean."""
+    model_fn, make_clients = eight_client_setting
+    algo = ExitingFedAvg(model_fn, make_clients(), lr=0.05, local_epochs=1,
+                         sample_ratio=1.0, seed=0,
+                         fault_model=FaultModel(seed=1),
+                         executor=ProcessPoolRoundExecutor(2))
+    try:
+        r0 = algo.run_round(0)
+        assert r0.n_dropped >= 1                 # the pool-breaking crash
+        assert r0.n_participants + r0.n_dropped == N_CLIENTS
+        r1 = algo.run_round(1)                   # rebuilt pool, no crash
+        assert r1.n_dropped == 0
+        assert r1.n_participants == N_CLIENTS
+    finally:
+        algo.close()
+
+
+def test_worker_crashed_is_client_dropped():
+    failure = WorkerCrashed(4, 2, "worker died")
+    assert isinstance(failure, ClientDropped)
+    assert failure.client_id == 4 and failure.round_idx == 2
+
+
+def test_failures_survive_pickling():
+    import pickle
+    for failure in (WorkerCrashed(1, 2, "gone"),
+                    StragglerTimeout(3, 4, 9.0, 5.0),
+                    TransferCorrupted(5, 6, "up", ValueError("crc"))):
+        clone = pickle.loads(pickle.dumps(failure))
+        assert type(clone) is type(failure)
+        assert clone.client_id == failure.client_id
+        assert clone.round_idx == failure.round_idx
+        assert str(clone) == str(failure)
+
+
+# ------------------------------------------------------------ codec
+def test_update_codec_round_trips_losslessly():
+    update = {
+        "salient": {"conv1": (np.arange(3, dtype=np.int32),
+                              np.random.default_rng(0).normal(size=(3, 4))
+                              .astype(np.float32))},
+        "dense": {"bn.bias": np.linspace(-1, 1, 5)},
+        "n": 100, "train_loss": 0.1 + 0.2, "steps": 7,
+        "flag": True, "nothing": None, "tag": "spatl",
+        "np_scalar": np.float64(1 / 3),
+        "nested": [1, (2.5, "x"), {"deep": np.ones(2, dtype=np.float16)}],
+    }
+    decoded = decode_update(encode_update(update))
+    assert decoded["n"] == 100 and decoded["steps"] == 7
+    assert decoded["train_loss"] == update["train_loss"]     # exact float
+    assert decoded["flag"] is True and decoded["nothing"] is None
+    assert decoded["tag"] == "spatl"
+    assert type(decoded["np_scalar"]) is np.float64
+    assert decoded["np_scalar"] == update["np_scalar"]
+    idx, rows = decoded["salient"]["conv1"]
+    assert idx.dtype == np.int32 and rows.dtype == np.float32
+    np.testing.assert_array_equal(idx, update["salient"]["conv1"][0])
+    np.testing.assert_array_equal(rows, update["salient"]["conv1"][1])
+    np.testing.assert_array_equal(decoded["dense"]["bn.bias"],
+                                  update["dense"]["bn.bias"])
+    assert isinstance(decoded["nested"][1], tuple)
+    assert decoded["nested"][1] == (2.5, "x")
+    assert decoded["nested"][2]["deep"].dtype == np.float16
+
+
+def test_update_codec_rejects_bad_trees():
+    with pytest.raises(TypeError):
+        encode_update({1: np.zeros(2)})          # non-str dict key
+    with pytest.raises(TypeError):
+        encode_update({"x": object()})           # unframable leaf
+    with pytest.raises(PayloadError):
+        decode_update(serialize_state({"t0": np.zeros(2)}))  # no manifest
+
+
+def test_comm_ledger_merge():
+    a, b = CommLedger(), CommLedger()
+    a.record_up(0, 1, 100)
+    b.record_up(0, 1, 50)
+    b.record_down(1, 2, 10)
+    a.merge(b)
+    assert a.uplink[0][1] == 150
+    assert a.downlink[1][2] == 10
+    assert a.total_bytes() == 160
+
+
+# ------------------------------------------------------------ loss fix
+class LosslessFedAvg(FedAvg):
+    """FedAvg whose updates (wrongly) carry no train_loss key."""
+
+    name = "lossless-fedavg"
+
+    def local_update(self, client, round_idx):
+        update = super().local_update(client, round_idx)
+        del update["train_loss"]
+        return update
+
+
+def test_missing_train_loss_warns_once(eight_client_setting):
+    model_fn, make_clients = eight_client_setting
+    LosslessFedAvg._warned_lossless_update = False   # isolate from reruns
+    algo = LosslessFedAvg(model_fn, make_clients(), lr=0.05, local_epochs=1,
+                          sample_ratio=1.0, seed=0)
+    with pytest.warns(RuntimeWarning, match="train_loss"):
+        r0 = algo.run_round(0)
+    assert math.isnan(r0.avg_train_loss)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")            # any warning -> failure
+        r1 = algo.run_round(1)                    # warned once, not per-round
+    assert math.isnan(r1.avg_train_loss)
+
+
+def test_avg_loss_ignores_non_finite(eight_client_setting):
+    """A cohort mixing real and missing losses averages the finite ones."""
+    model_fn, make_clients = eight_client_setting
+
+    class HalfLossFedAvg(FedAvg):
+        name = "half-loss-fedavg"
+
+        def local_update(self, client, round_idx):
+            update = super().local_update(client, round_idx)
+            if client.client_id % 2 == 0:
+                del update["train_loss"]
+            return update
+
+    algo = HalfLossFedAvg(model_fn, make_clients(), lr=0.05, local_epochs=1,
+                          sample_ratio=1.0, seed=0)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        result = algo.run_round(0)
+    assert math.isfinite(result.avg_train_loss)
+
+
+# ------------------------------------------------------------ factory
+def test_make_executor_dispatch():
+    assert isinstance(make_executor(0), SerialExecutor)
+    assert isinstance(make_executor(1), SerialExecutor)
+    pooled = make_executor(2)
+    assert isinstance(pooled, ProcessPoolRoundExecutor)
+    pooled.close()                                # never started: no-op
+    with pytest.raises(ValueError):
+        ProcessPoolRoundExecutor(1)

@@ -1,0 +1,98 @@
+"""CI docs-check: keep user-facing docs in sync with the code.
+
+Two invariants, both cheap and mechanical so they can gate CI:
+
+1. **CLI coverage** — every option flag exposed by ``repro.cli`` must be
+   mentioned in README.md.  PRs 1-2 added whole flag groups without
+   README coverage; this check makes that class of drift a CI failure.
+2. **DESIGN section references** — every ``DESIGN.md §N`` reference in
+   the source tree and docs must point at an existing ``## N.`` heading,
+   so refactoring DESIGN.md cannot silently strand pointers.
+
+Run from the repo root (CI does)::
+
+    PYTHONPATH=src python tools/docs_check.py
+
+Exits non-zero listing every violation.  The checking functions are pure
+(text in, violations out) so the test suite can assert both directions:
+the current tree passes, and removing ``--workers`` from README fails.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Docs/sources scanned for DESIGN.md section references.
+_REF_GLOBS = ("src/**/*.py", "benchmarks/**/*.py", "tests/**/*.py",
+              "examples/**/*.py", "README.md", "EXPERIMENTS.md")
+_SECTION_REF = re.compile(r"DESIGN(?:\.md)?`?\s*§(\d+)")
+_SECTION_HEADING = re.compile(r"^## (\d+)\.", re.MULTILINE)
+
+
+def undocumented_flags(readme_text: str, parser=None) -> list[str]:
+    """CLI option strings (``--foo``) that README.md never mentions."""
+    if parser is None:
+        from repro.cli import build_parser
+        parser = build_parser()
+    missing = []
+    for action in parser._actions:
+        for option in action.option_strings:
+            if option.startswith("--") and option not in readme_text:
+                missing.append(option)
+    return sorted(set(missing))
+
+
+def referenced_design_sections(root: Path = REPO_ROOT) -> dict[str, set[str]]:
+    """Map of DESIGN section number -> files that reference it."""
+    refs: dict[str, set[str]] = {}
+    for pattern in _REF_GLOBS:
+        for path in sorted(root.glob(pattern)):
+            try:
+                text = path.read_text()
+            except (OSError, UnicodeDecodeError):
+                continue
+            for match in _SECTION_REF.finditer(text):
+                refs.setdefault(match.group(1), set()).add(
+                    str(path.relative_to(root)))
+    return refs
+
+
+def missing_design_sections(design_text: str,
+                            refs: dict[str, set[str]]) -> dict[str, set[str]]:
+    """References to DESIGN sections with no matching ``## N.`` heading."""
+    present = set(_SECTION_HEADING.findall(design_text))
+    return {section: files for section, files in refs.items()
+            if section not in present}
+
+
+def main() -> int:
+    """Run both checks against the working tree; print violations."""
+    failures = 0
+
+    readme = (REPO_ROOT / "README.md").read_text()
+    for flag in undocumented_flags(readme):
+        print(f"docs-check: CLI flag {flag} is not documented in README.md")
+        failures += 1
+
+    design = (REPO_ROOT / "DESIGN.md").read_text()
+    for section, files in sorted(
+            missing_design_sections(design,
+                                    referenced_design_sections()).items()):
+        where = ", ".join(sorted(files))
+        print(f"docs-check: DESIGN.md §{section} referenced by {where} "
+              f"but DESIGN.md has no '## {section}.' heading")
+        failures += 1
+
+    if failures:
+        print(f"docs-check: {failures} violation(s)")
+        return 1
+    print("docs-check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
