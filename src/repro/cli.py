@@ -193,7 +193,14 @@ def _export_trace(tracer, path: str) -> None:
 
 
 def _export_metrics(path: str) -> None:
-    """Dump the global metrics registry snapshot as JSON."""
+    """Dump the global metrics registry snapshot as JSON.
+
+    Folds the workspace-arena hit/miss/bytes-saved counters into the
+    registry first, so exported metrics always carry the arena traffic
+    of the run (DESIGN.md §10).
+    """
+    from repro.tensor import workspace
+    workspace.publish_metrics(get_registry())
     with open(path, "w") as fh:
         fh.write(get_registry().to_json() + "\n")
     print(f"metrics written to {path}", file=sys.stderr)

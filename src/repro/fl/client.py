@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.data.dataloader import DataLoader
 from repro.data.datasets import ArrayDataset, train_val_split
-from repro.tensor import Tensor, functional as F
+from repro.tensor import Tensor, functional as F, no_grad
 from repro.utils.metrics import RunningAverage
 
 
@@ -60,17 +60,26 @@ class Client:
 
     def evaluate(self, model, data: ArrayDataset | None = None,
                  batch_size: int = 256) -> tuple[float, float]:
-        """(top-1 accuracy, mean loss) of ``model`` on ``data`` (default: val)."""
+        """(top-1 accuracy, mean loss) of ``model`` on ``data`` (default: val).
+
+        Runs on the inference fast path (DESIGN.md §10): ``no_grad``
+        skips autodiff graph/closure construction, and adjacent conv+BN
+        pairs are folded for the duration.  Evaluation results feed only
+        reporting/early-stopping, never training numerics, so the
+        float32-rounding-level difference of the folded path is safe.
+        """
+        from repro.nn.fuse import folded_inference
         data = data if data is not None else self.val_data
         model.eval()
         acc = RunningAverage()
         loss_avg = RunningAverage()
-        for lo in range(0, len(data), batch_size):
-            xb = data.x[lo:lo + batch_size]
-            yb = data.y[lo:lo + batch_size]
-            logits = model(Tensor(xb))
-            acc.update(F.accuracy(logits, yb), len(yb))
-            loss_avg.update(F.cross_entropy(logits, yb).item(), len(yb))
+        with no_grad(), folded_inference(model):
+            for lo in range(0, len(data), batch_size):
+                xb = data.x[lo:lo + batch_size]
+                yb = data.y[lo:lo + batch_size]
+                logits = model(Tensor(xb))
+                acc.update(F.accuracy(logits, yb), len(yb))
+                loss_avg.update(F.cross_entropy(logits, yb).item(), len(yb))
         model.train()
         return acc.value, loss_avg.value
 

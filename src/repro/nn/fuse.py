@@ -1,0 +1,119 @@
+"""Conv+BatchNorm folding for evaluation batches (DESIGN.md §10).
+
+In eval mode a BatchNorm is an affine map built from frozen running
+statistics, so it can be absorbed into the preceding convolution:
+
+    W' = W * (gamma / sqrt(var + eps))  (per output channel)
+    b' = (b - mean) * (gamma / sqrt(var + eps)) + beta
+
+:func:`folded_inference` activates the fold for the duration of a
+``with`` block by registering folded weights in
+:data:`repro.nn.conv._ACTIVE_FOLDS` (the conv forward picks them up) and
+marking the absorbed BatchNorms as identity.  Nothing is written to the
+modules themselves, so model state, ``state_dict``, pickling, and
+deepcopy are untouched, and training — which never enters the context —
+cannot observe the fold.
+
+Pairing is structural: a ``Conv2d`` immediately followed by a matching
+``BatchNorm2d`` in its parent's child order.  For every model in this
+repository (Sequential chains, ``BasicBlock``, the ResNet stem)
+definition order equals execution order; a custom container that
+defines the pair adjacently but runs the conv's output elsewhere must
+not be passed here.  Folded outputs match unfolded eval outputs to
+float32 rounding — :func:`verify_fold` asserts ``rtol=1e-5`` agreement
+and the test suite gates every registry model through it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+from repro.nn import conv as _conv
+from repro.nn.conv import Conv2d
+from repro.nn.module import Module
+from repro.nn.norm import BatchNorm2d
+from repro.tensor.tensor import is_grad_enabled
+
+__all__ = ["fold_pairs", "fold_conv_bn", "folded_inference", "verify_fold"]
+
+
+def fold_pairs(model: Module) -> list[tuple[Conv2d, BatchNorm2d]]:
+    """Every (conv, bn) pair adjacent in some module's child order."""
+    pairs = []
+    stack = [model]
+    while stack:
+        module = stack.pop()
+        children = list(module._modules.values())
+        stack.extend(children)
+        for a, b in zip(children, children[1:]):
+            if isinstance(a, Conv2d) and isinstance(b, BatchNorm2d) \
+                    and a.out_channels == b.num_features:
+                pairs.append((a, b))
+    return pairs
+
+
+def fold_conv_bn(conv: Conv2d, bn: BatchNorm2d) -> tuple[np.ndarray, np.ndarray]:
+    """Folded ``(weight, bias)`` arrays absorbing ``bn`` into ``conv``."""
+    var = bn.running_var
+    mean = bn.running_mean
+    if bn.affine:
+        gamma = bn.weight.data
+        beta = bn.bias.data
+    else:
+        gamma = np.ones_like(var)
+        beta = np.zeros_like(mean)
+    scale = gamma / np.sqrt(var + bn.eps)
+    w = conv.weight.data * scale[:, None, None, None]
+    b0 = conv.bias.data if conv.bias is not None else 0.0
+    b = (b0 - mean) * scale + beta
+    return (np.ascontiguousarray(w, dtype=conv.weight.data.dtype),
+            b.astype(conv.weight.data.dtype))
+
+
+@contextlib.contextmanager
+def folded_inference(model: Module):
+    """Run the block with every foldable conv+bn pair of ``model`` fused.
+
+    Requires eval mode and ``no_grad`` (folded outputs differ from the
+    exact BN arithmetic at float32 rounding level, which must never leak
+    into training or gradients).  No-op for models without foldable
+    pairs.
+    """
+    if is_grad_enabled():
+        raise RuntimeError("folded_inference requires a no_grad() context")
+    if model.training:
+        raise RuntimeError("folded_inference requires model.eval()")
+    registered: list[tuple[int, int]] = []
+    try:
+        for conv, bn in fold_pairs(model):
+            _conv._ACTIVE_FOLDS[id(conv)] = fold_conv_bn(conv, bn)
+            _conv._FOLDED_BNS.add(id(bn))
+            registered.append((id(conv), id(bn)))
+        yield
+    finally:
+        for conv_id, bn_id in registered:
+            _conv._ACTIVE_FOLDS.pop(conv_id, None)
+            _conv._FOLDED_BNS.discard(bn_id)
+
+
+def verify_fold(model: Module, x, rtol: float = 1e-5, atol: float = 1e-6) -> None:
+    """Assert folded and unfolded eval forwards agree on input ``x``.
+
+    ``x`` is a :class:`~repro.tensor.tensor.Tensor` batch.  Raises
+    ``AssertionError`` on disagreement beyond float32 rounding — the
+    allclose gate for the BN-fold eval path.
+    """
+    from repro.tensor.tensor import no_grad
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            plain = model(x)
+            with folded_inference(model):
+                fused = model(x)
+        np.testing.assert_allclose(fused.data, plain.data, rtol=rtol, atol=atol)
+    finally:
+        if was_training:
+            model.train()

@@ -1,15 +1,38 @@
-"""Spatial pooling layers (max / average / global average)."""
+"""Spatial pooling layers (max / average / global average).
+
+The pooling backwards are vectorized (DESIGN.md §10): max-pool scatter
+uses flat-index assignment (windows are disjoint for ``stride >= k``, so
+every input cell receives at most one gradient and plain fancy-index
+assignment replaces ``np.add.at``), falling back to ``np.bincount`` for
+overlapping windows; average-pool writes the broadcast gradient through
+a strided view instead of a Python k×k loop.  For the non-overlapping
+configurations the models use, results are byte-identical to the
+original formulation (see :mod:`repro.nn.reference`); the overlapping
+``np.bincount`` path accumulates in float64 and is covered by float64
+gradchecks instead.
+"""
 
 from __future__ import annotations
 
 import numpy as np
-from numpy.lib.stride_tricks import sliding_window_view
+from numpy.lib.stride_tricks import as_strided, sliding_window_view
 
 from repro.nn.module import Module
-from repro.tensor.tensor import Tensor
+from repro.tensor import workspace
+from repro.tensor.tensor import Tensor, is_grad_enabled
 
 
-def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:
+def _pool_flat_base(n: int, c: int, h: int, w: int, ho: int, wo: int,
+                    s: int) -> np.ndarray:
+    """(N, C, Ho, Wo) int64 flat index of each window's top-left corner."""
+    base = (np.arange(n).reshape(n, 1, 1, 1) * c
+            + np.arange(c).reshape(1, c, 1, 1)) * h
+    base = (base + np.arange(ho).reshape(1, 1, ho, 1) * s) * w
+    return base + np.arange(wo).reshape(1, 1, 1, wo) * s
+
+
+def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None,
+               ws: workspace.WorkspaceSlot | None = None) -> Tensor:
     """Max pooling with square window; stride defaults to the window size."""
     k = kernel_size
     s = stride or k
@@ -19,6 +42,12 @@ def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor
     windows = sliding_window_view(x.data, (k, k), axis=(2, 3))[:, :, ::s, ::s]
     # (N, C, Ho, Wo, k, k)
     flat = windows.reshape(n, c, ho, wo, k * k)
+
+    if not (is_grad_enabled() and x.requires_grad):
+        # Inference fast path: the max alone, no argmax bookkeeping.
+        return Tensor(np.ascontiguousarray(flat.max(axis=-1)),
+                      dtype=x.data.dtype)
+
     arg = flat.argmax(axis=-1)
     out_data = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
     out_data = np.ascontiguousarray(out_data)
@@ -27,11 +56,23 @@ def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor
     def backward(g):
         dx = np.zeros_like(a.data)
         ki, kj = np.divmod(arg, k)
-        nn_, cc, ii, jj = np.indices((n, c, ho, wo), sparse=False)
-        rows = ii * s + ki
-        cols = jj * s + kj
-        np.add.at(dx, (nn_, cc, rows, cols), g)
-        a._accumulate(dx)
+        if ws is None:
+            base = _pool_flat_base(n, c, h, w, ho, wo, s)
+        else:
+            base = ws.cached("maxpool.base", (n, c, h, w, ho, wo, s),
+                             lambda: _pool_flat_base(n, c, h, w, ho, wo, s))
+        flat_idx = base + ki * w + kj
+        if s >= k:
+            # Disjoint windows: each input cell gets at most one gradient,
+            # so fancy-index assignment into zeros equals the add-scatter.
+            dx.reshape(-1)[flat_idx.reshape(-1)] = np.ravel(g)
+        else:
+            # Overlapping windows can hit a cell repeatedly; bincount
+            # accumulates (in float64 — exact for the float64 gradchecks).
+            acc = np.bincount(flat_idx.reshape(-1), weights=np.ravel(g),
+                              minlength=dx.size)
+            dx[...] = acc.reshape(dx.shape)
+        a._accumulate(dx, donate="fresh")
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -45,15 +86,40 @@ def avg_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor
     wo = (w - k) // s + 1
     windows = sliding_window_view(x.data, (k, k), axis=(2, 3))[:, :, ::s, ::s]
     out_data = np.ascontiguousarray(windows.mean(axis=(-1, -2)))
+
+    if not (is_grad_enabled() and x.requires_grad):
+        return Tensor(out_data, dtype=out_data.dtype)
+
     a = x
 
     def backward(g):
         dx = np.zeros_like(a.data)
         gk = g / (k * k)
-        for i in range(k):
-            for j in range(k):
-                dx[:, :, i:i + s * ho:s, j:j + s * wo:s] += gk
-        a._accumulate(dx)
+        if s == k:
+            # Non-overlapping tiling: write the broadcast gradient through
+            # a (N, C, Ho, k, Wo, k) strided view of dx in one pass.
+            st = dx.strides
+            tiles = as_strided(dx, shape=(n, c, ho, k, wo, k),
+                               strides=(st[0], st[1], st[2] * k, st[2],
+                                        st[3] * k, st[3]))
+            np.copyto(tiles, gk[:, :, :, None, :, None])
+        elif s > k:
+            # Disjoint but gapped windows: the strided-slice adds touch
+            # each cell once, so the original formulation is already exact.
+            for i in range(k):
+                for j in range(k):
+                    dx[:, :, i:i + s * ho:s, j:j + s * wo:s] += gk
+        else:
+            # Overlapping windows: accumulate every tap via bincount
+            # (float64 inside — exact for the float64 gradchecks).
+            base = _pool_flat_base(n, c, h, w, ho, wo, s)
+            taps = (base[..., None, None] + np.arange(k).reshape(k, 1) * w
+                    + np.arange(k))                    # (N, C, Ho, Wo, k, k)
+            gtap = np.broadcast_to(gk[..., None, None], taps.shape)
+            acc = np.bincount(taps.reshape(-1), weights=np.ravel(gtap),
+                              minlength=dx.size)
+            dx[...] = acc.reshape(dx.shape)
+        a._accumulate(dx, donate="fresh")
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -67,7 +133,8 @@ class MaxPool2d(Module):
         self.stride = stride or kernel_size
 
     def forward(self, x: Tensor) -> Tensor:
-        return max_pool2d(x, self.kernel_size, self.stride)
+        return max_pool2d(x, self.kernel_size, self.stride,
+                          ws=workspace.slot_for(self))
 
     def __repr__(self) -> str:
         return f"MaxPool2d(k={self.kernel_size}, s={self.stride})"

@@ -65,6 +65,7 @@ class OpProfiler:
         self._installed = False
         self._saved_forwards: list[tuple[type, object]] = []
         self._prev_hook = None
+        self._ws_baseline: dict[str, tuple[int, int, int, int]] = {}
 
     # ---------------------------------------------------------- recording
     def record(self, op: str, seconds: float, flops: int = 0) -> None:
@@ -114,6 +115,8 @@ class OpProfiler:
         _instrument(LayerNorm, "layernorm")
         self._prev_hook = _tensor_engine.set_backward_op_hook(
             self._on_backward)
+        from repro.tensor import workspace as _workspace
+        self._ws_baseline = _workspace.stats_snapshot()
         self._installed = True
         return self
 
@@ -143,6 +146,23 @@ class OpProfiler:
     def total_seconds(self) -> float:
         """Wall time summed over every profiled op."""
         return sum(s.seconds for s in self.stats.values())
+
+    def workspace_stats(self) -> dict[str, tuple[int, int, int, int]]:
+        """Arena traffic since :meth:`install`, per buffer tag.
+
+        Returns ``{tag: (hits, misses, bytes_alloc, bytes_saved)}`` deltas
+        against the snapshot taken when the profiler was installed, so a
+        profiled region reports only its own workspace activity.  Tags
+        with no traffic in the window are omitted.
+        """
+        from repro.tensor import workspace as _workspace
+        deltas = {}
+        for tag, now in _workspace.stats_snapshot().items():
+            base = self._ws_baseline.get(tag, (0, 0, 0, 0))
+            d = tuple(a - b for a, b in zip(now, base))
+            if any(d):
+                deltas[tag] = d
+        return deltas
 
     def report(self, n: int = 10) -> str:
         """Human-readable hotspot table (top ``n`` ops by time)."""

@@ -53,13 +53,36 @@ def round_timeline_table(tracer, phases: tuple[str, ...] = ROUND_PHASES) -> str:
 
 
 def hotspot_table(profiler, n: int = 10) -> str:
-    """Top-``n`` ops by cumulative wall time, with FLOPs and throughput."""
-    headers = ["op", "calls", "total s", "mean ms", "GFLOP", "GFLOP/s"]
+    """Top-``n`` ops by cumulative wall time, with FLOPs and throughput.
+
+    When the profiler exposes :meth:`~repro.obs.profiler.OpProfiler.
+    workspace_stats`, two arena columns are joined on: the workspace
+    hit rate and megabytes of allocation served from cache, aggregated
+    over the op's buffer tags (``conv2d.cols`` etc. fold into the
+    ``conv2d`` rows).  Ops without arena traffic show ``-``.
+    """
+    headers = ["op", "calls", "total s", "mean ms", "GFLOP", "GFLOP/s",
+               "ws hit%", "ws MB saved"]
+    by_prefix: dict[str, list[int]] = defaultdict(lambda: [0, 0, 0, 0])
+    ws_stats = getattr(profiler, "workspace_stats", None)
+    if ws_stats is not None:
+        for tag, delta in ws_stats().items():
+            agg = by_prefix[tag.split(".")[0]]
+            for i, v in enumerate(delta):
+                agg[i] += v
     rows = []
     for op, stat in profiler.top_hotspots(n):
         mean_ms = stat.seconds / stat.calls * 1e3 if stat.calls else 0.0
-        rows.append([op, stat.calls, stat.seconds, mean_ms,
-                     stat.flops / 1e9, stat.gflops_per_s])
+        row = [op, stat.calls, stat.seconds, mean_ms,
+               stat.flops / 1e9, stat.gflops_per_s]
+        agg = by_prefix.get(op.split(".")[0])
+        if agg:
+            hits, misses, _, bytes_saved = agg
+            rate = 100.0 * hits / (hits + misses) if hits + misses else 0.0
+            row += [rate, bytes_saved / 1e6]
+        else:
+            row += ["-", "-"]
+        rows.append(row)
     return render_table(headers, rows, title=f"Top {len(rows)} hotspots")
 
 

@@ -1,4 +1,15 @@
-"""Stochastic gradient descent with momentum, weight decay, and hooks."""
+"""Stochastic gradient descent with momentum, weight decay, and hooks.
+
+The update is fully in-place (DESIGN.md §10): gradient scaling, weight
+decay, and the learning-rate product go through per-optimizer workspace
+scratch buffers with ``np.multiply/add/subtract(..., out=)``, keeping
+the exact operand order of the allocating form so steps stay
+byte-identical.  Aliasing contract: ``p.grad`` itself is never written;
+correction hooks receive either ``p.grad`` or an optimizer scratch
+buffer and must treat it as read-only borrowed memory — return a fresh
+array (as SCAFFOLD/SPATL's ``g + c - c_i`` does) or the argument itself,
+and never retain it past the call.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +18,7 @@ from typing import Callable, Iterable
 import numpy as np
 
 from repro.nn.module import Parameter
+from repro.tensor import workspace
 
 # A correction hook receives (param_name, grad) and returns the corrected
 # gradient.  SCAFFOLD / SPATL register ``grad + c - c_i`` here (Eq. 9).
@@ -42,6 +54,12 @@ class SGD:
         self.max_grad_norm = max_grad_norm
         self._velocity: dict[str, np.ndarray] = {}
         self._hooks: list[CorrectionHook] = []
+        # Per-parameter scratch (g/decay/lrg) resolved through the arena
+        # once and then held directly: arena buffers are never evicted,
+        # so a retained reference stays the canonical buffer, and skipping
+        # the keyed lookup keeps the per-param step cost below the small
+        # allocations it replaces.
+        self._scratch: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
 
     def add_correction_hook(self, hook: CorrectionHook) -> None:
         """Register a per-parameter gradient correction (applied in order)."""
@@ -62,20 +80,40 @@ class SGD:
         return float(np.sqrt(sq))
 
     def step(self) -> None:
-        """Apply one update to every parameter that has a gradient."""
+        """Apply one update to every parameter that has a gradient.
+
+        In-place formulation of ``p -= lr * (scale*g + wd*p)`` (plus hooks
+        and momentum): scratch buffers come from this optimizer's
+        workspace slot and are reused across parameters of equal
+        shape/dtype — safe because each parameter's update completes
+        before the next begins.  Every ``out=`` op mirrors one allocating
+        op of the original update, same operands, same order.
+        """
         scale = 1.0
         if self.max_grad_norm is not None:
             norm = self._global_grad_norm()
             if norm > self.max_grad_norm:
                 scale = self.max_grad_norm / (norm + 1e-12)
+        ws = workspace.slot_for(self)
         for name, p in self.params:
             if p.grad is None:
                 continue
+            scratch = self._scratch.get(name)
+            if scratch is None:
+                shape, dt = p.data.shape, p.data.dtype
+                scratch = self._scratch[name] = (
+                    ws.buffer("sgd.g", shape, dt),
+                    ws.buffer("sgd.decay", shape, dt),
+                    ws.buffer("sgd.lrg", shape, dt))
+            gbuf, decay, lrg = scratch
             g = p.grad
             if scale != 1.0:
-                g = g * scale
+                np.multiply(g, scale, out=gbuf)             # g * scale
+                g = gbuf
             if self.weight_decay:
-                g = g + self.weight_decay * p.data
+                np.multiply(p.data, self.weight_decay, out=decay)
+                np.add(g, decay, out=gbuf)                  # g + wd * p
+                g = gbuf
             for hook in self._hooks:
                 g = hook(name, g)
             if self.momentum:
@@ -86,7 +124,8 @@ class SGD:
                 v *= self.momentum
                 v += g
                 g = v
-            p.data -= self.lr * g
+            np.multiply(g, self.lr, out=lrg)                # lr * g
+            np.subtract(p.data, lrg, out=p.data)            # p -= lr * g
 
     def state_dict(self) -> dict:
         return {"lr": self.lr, "velocity": {k: v.copy() for k, v in self._velocity.items()}}

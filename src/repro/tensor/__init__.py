@@ -12,9 +12,14 @@ The public surface:
 - ``no_grad`` — context manager disabling graph construction.
 - the functional ops in :mod:`repro.tensor.functional` (``relu``,
   ``softmax``, ``cross_entropy``, ...).
+- :mod:`repro.tensor.workspace` — the scratch-buffer arena backing the
+  optimized kernels (DESIGN.md §10).
+- ``forbid_dtype`` — debug guard against silent dtype upcasts.
 """
 
-from repro.tensor.tensor import Tensor, tensor, no_grad, is_grad_enabled
-from repro.tensor import functional
+from repro.tensor.tensor import (Tensor, tensor, no_grad, is_grad_enabled,
+                                 forbid_dtype)
+from repro.tensor import functional, workspace
 
-__all__ = ["Tensor", "tensor", "no_grad", "is_grad_enabled", "functional"]
+__all__ = ["Tensor", "tensor", "no_grad", "is_grad_enabled", "forbid_dtype",
+           "functional", "workspace"]

@@ -36,7 +36,7 @@ def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
     out_data = x.data * scale
 
     def backward(g):
-        a._accumulate(g * scale)
+        a._accumulate(g * scale, donate="fresh")
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -51,7 +51,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
     def backward(g):
         # dL/dx = s * (g - sum(g * s))
         dot = (g * out_data).sum(axis=axis, keepdims=True)
-        a._accumulate(out_data * (g - dot))
+        a._accumulate(out_data * (g - dot), donate="fresh")
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -66,7 +66,8 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     soft = np.exp(out_data)
 
     def backward(g):
-        a._accumulate(g - soft * g.sum(axis=axis, keepdims=True))
+        a._accumulate(g - soft * g.sum(axis=axis, keepdims=True),
+                      donate="fresh")
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -102,7 +103,7 @@ def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
         grad = soft.copy()
         grad[np.arange(n), labels] -= 1.0
         grad *= float(g) / n
-        a._accumulate(grad)
+        a._accumulate(grad, donate="fresh")
 
     return Tensor._make(np.asarray(loss, dtype=logits.dtype), (a,), backward)
 
@@ -135,7 +136,7 @@ def smooth_l1_loss(pred: Tensor, target, beta: float = 1.0) -> Tensor:
 
     def backward(g):
         grad = np.where(quad, diff / beta, np.sign(diff)) * (float(g) / n)
-        a._accumulate(grad.astype(pred.dtype, copy=False))
+        a._accumulate(grad.astype(pred.dtype, copy=False), donate="fresh")
 
     return Tensor._make(np.asarray(loss, dtype=pred.dtype), (a,), backward)
 
@@ -153,7 +154,7 @@ def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
 
     def backward(g):
         gg = g if keepdims else np.expand_dims(g, axis=axis)
-        a._accumulate(soft * gg)
+        a._accumulate(soft * gg, donate="fresh")
 
     return Tensor._make(out, (a,), backward)
 
@@ -169,7 +170,7 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True
     out_data = x.data * keep
 
     def backward(g):
-        a._accumulate(g * keep)
+        a._accumulate(g * keep, donate="fresh")
 
     return Tensor._make(out_data, (a,), backward)
 

@@ -74,6 +74,35 @@ def is_grad_enabled() -> bool:
     return getattr(_grad_state, "enabled", True)
 
 
+# Debug guard against silent dtype upcasts on the hot path (see
+# forbid_dtype).  None (the default) keeps tensor creation on the
+# original path — one global ``is None`` check.
+_forbidden_dtype: np.dtype | None = None
+
+
+@contextlib.contextmanager
+def forbid_dtype(dtype=np.float64):
+    """Debug assertion: raise if a Tensor or gradient of ``dtype`` appears.
+
+    The float32 training path can silently upcast to float64 through a
+    stray NumPy scalar (``np.float64(2) * x`` promotes), doubling memory
+    traffic without changing results enough to notice.  Inside this
+    context every ``Tensor`` construction and every gradient entering
+    ``Tensor._accumulate`` asserts against the forbidden dtype — the
+    surface through which any upcast must pass to affect training.
+    Intentional float64 use (server-side aggregation, gradcheck tests,
+    ``SGD._global_grad_norm``) happens on plain arrays outside that
+    surface and is unaffected.
+    """
+    global _forbidden_dtype
+    prev = _forbidden_dtype
+    _forbidden_dtype = np.dtype(dtype)
+    try:
+        yield
+    finally:
+        _forbidden_dtype = prev
+
+
 @contextlib.contextmanager
 def no_grad():
     """Context manager: operations inside do not build the autodiff graph.
@@ -138,6 +167,10 @@ class Tensor:
 
     def __init__(self, data, requires_grad: bool = False, dtype=None):
         self.data: np.ndarray = _as_array(data, dtype)
+        if _forbidden_dtype is not None and self.data.dtype == _forbidden_dtype:
+            raise AssertionError(
+                f"Tensor created with forbidden dtype {_forbidden_dtype} "
+                f"(shape {self.data.shape}) inside forbid_dtype()")
         self.requires_grad: bool = bool(requires_grad) and is_grad_enabled()
         self.grad: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
@@ -211,13 +244,39 @@ class Tensor:
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad: np.ndarray,
+                    donate: str | None = None) -> None:
+        """Add ``grad`` into ``self.grad``.
+
+        ``donate`` lets a backward closure transfer buffer ownership and
+        skip the defensive first-accumulation copy (DESIGN.md §10):
+
+        - ``"fresh"``   — the caller just allocated ``grad`` (or holds the
+          only reference) and will never read or write it again;
+        - ``"scratch"`` — ``grad`` aliases per-owner workspace memory that
+          stays valid until the owner's next forward.  Accepted only for
+          non-leaf nodes, whose ``.grad`` the engine consumes and releases
+          within the same backward pass; leaves (parameters, inputs) keep
+          the copy so user-visible ``.grad`` never aliases an arena.
+
+        Donation never changes values — only whether a copy is taken.
+        """
         if not self.requires_grad:
             return
+        if _forbidden_dtype is not None \
+                and np.asarray(grad).dtype == _forbidden_dtype:
+            raise AssertionError(
+                f"gradient with forbidden dtype {_forbidden_dtype} for "
+                f"tensor of shape {self.shape} inside forbid_dtype()")
         grad = np.asarray(grad, dtype=self.data.dtype)
         if self.grad is None:
-            # Own the buffer: closures may hand us views of arrays they reuse.
-            self.grad = np.array(grad)
+            if donate == "fresh" or (donate == "scratch"
+                                     and self._backward is not None):
+                self.grad = grad
+            else:
+                # Own the buffer: closures may hand us views of arrays
+                # they reuse.
+                self.grad = np.array(grad)
         else:
             self.grad += grad
 
@@ -316,8 +375,8 @@ class Tensor:
         a, b = self, other
 
         def backward(g):
-            a._accumulate(unbroadcast(g * b.data, a.shape))
-            b._accumulate(unbroadcast(g * a.data, b.shape))
+            a._accumulate(unbroadcast(g * b.data, a.shape), donate="fresh")
+            b._accumulate(unbroadcast(g * a.data, b.shape), donate="fresh")
 
         return Tensor._make(out_data, (a, b), backward)
 
@@ -329,8 +388,9 @@ class Tensor:
         a, b = self, other
 
         def backward(g):
-            a._accumulate(unbroadcast(g / b.data, a.shape))
-            b._accumulate(unbroadcast(-g * a.data / (b.data * b.data), b.shape))
+            a._accumulate(unbroadcast(g / b.data, a.shape), donate="fresh")
+            b._accumulate(unbroadcast(-g * a.data / (b.data * b.data), b.shape),
+                          donate="fresh")
 
         return Tensor._make(out_data, (a, b), backward)
 
@@ -341,7 +401,7 @@ class Tensor:
         a = self
 
         def backward(g):
-            a._accumulate(-g)
+            a._accumulate(-g, donate="fresh")
 
         return Tensor._make(-self.data, (a,), backward)
 
@@ -352,7 +412,8 @@ class Tensor:
         out_data = self.data ** exponent
 
         def backward(g):
-            a._accumulate(g * exponent * self.data ** (exponent - 1))
+            a._accumulate(g * exponent * self.data ** (exponent - 1),
+                          donate="fresh")
 
         return Tensor._make(out_data, (a,), backward)
 
@@ -372,7 +433,8 @@ class Tensor:
                     ga = g[..., None] * bd
                 else:                                       # batched mat-mat
                     ga = g @ np.swapaxes(bd, -1, -2)
-                a._accumulate(unbroadcast(np.asarray(ga), a.shape))
+                a._accumulate(unbroadcast(np.asarray(ga), a.shape),
+                              donate="fresh")
             if b.requires_grad:
                 if ad.ndim == 1 and bd.ndim == 1:
                     gb = g * ad
@@ -383,7 +445,8 @@ class Tensor:
                                                    tuple(range(g.ndim))))
                 else:
                     gb = np.swapaxes(ad, -1, -2) @ g
-                b._accumulate(unbroadcast(np.asarray(gb), b.shape))
+                b._accumulate(unbroadcast(np.asarray(gb), b.shape),
+                              donate="fresh")
 
         return Tensor._make(out_data, (a, b), backward)
 
@@ -429,13 +492,15 @@ class Tensor:
             if axis is None:
                 mask = (a.data == a.data.max())
                 contrib = mask / mask.sum()
-                a._accumulate((g_arr * contrib).astype(a.dtype, copy=False))
+                a._accumulate((g_arr * contrib).astype(a.dtype, copy=False),
+                              donate="fresh")
             else:
                 expanded = a.data.max(axis=axis, keepdims=True)
                 mask = (a.data == expanded)
                 counts = mask.sum(axis=axis, keepdims=True)
                 gg = g_arr if keepdims else np.expand_dims(g_arr, axis=axis)
-                a._accumulate((mask * gg / counts).astype(a.dtype, copy=False))
+                a._accumulate((mask * gg / counts).astype(a.dtype, copy=False),
+                              donate="fresh")
 
         return Tensor._make(np.asarray(out_data), (a,), backward)
 
@@ -475,11 +540,21 @@ class Tensor:
     def __getitem__(self, idx):
         a = self
         out_data = self.data[idx]
+        # Basic (slice/int) indexing selects each element at most once, so
+        # the backward scatter is plain assignment into zeros — equal to
+        # np.add.at but without its slow buffered-iteration path.  Fancy
+        # (array) indexing may repeat elements and keeps the add-scatter.
+        items = idx if isinstance(idx, tuple) else (idx,)
+        basic = all(isinstance(i, (int, np.integer, slice)) or i is Ellipsis
+                    or i is None for i in items)
 
         def backward(g):
             full = np.zeros_like(a.data)
-            np.add.at(full, idx, g)
-            a._accumulate(full)
+            if basic:
+                full[idx] = g
+            else:
+                np.add.at(full, idx, g)
+            a._accumulate(full, donate="fresh")
 
         return Tensor._make(np.asarray(out_data), (a,), backward)
 
@@ -505,7 +580,7 @@ class Tensor:
         out_data = np.exp(self.data)
 
         def backward(g):
-            a._accumulate(g * out_data)
+            a._accumulate(g * out_data, donate="fresh")
 
         return Tensor._make(out_data, (a,), backward)
 
@@ -514,7 +589,7 @@ class Tensor:
         out_data = np.log(self.data)
 
         def backward(g):
-            a._accumulate(g / a.data)
+            a._accumulate(g / a.data, donate="fresh")
 
         return Tensor._make(out_data, (a,), backward)
 
@@ -523,7 +598,7 @@ class Tensor:
         out_data = np.sqrt(self.data)
 
         def backward(g):
-            a._accumulate(g * 0.5 / out_data)
+            a._accumulate(g * 0.5 / out_data, donate="fresh")
 
         return Tensor._make(out_data, (a,), backward)
 
@@ -532,7 +607,7 @@ class Tensor:
         out_data = np.tanh(self.data)
 
         def backward(g):
-            a._accumulate(g * (1.0 - out_data * out_data))
+            a._accumulate(g * (1.0 - out_data * out_data), donate="fresh")
 
         return Tensor._make(out_data, (a,), backward)
 
@@ -541,7 +616,7 @@ class Tensor:
         out_data = 1.0 / (1.0 + np.exp(-self.data))
 
         def backward(g):
-            a._accumulate(g * out_data * (1.0 - out_data))
+            a._accumulate(g * out_data * (1.0 - out_data), donate="fresh")
 
         return Tensor._make(out_data, (a,), backward)
 
@@ -551,7 +626,7 @@ class Tensor:
         out_data = self.data * mask
 
         def backward(g):
-            a._accumulate(g * mask)
+            a._accumulate(g * mask, donate="fresh")
 
         return Tensor._make(out_data, (a,), backward)
 
@@ -561,7 +636,7 @@ class Tensor:
         mask = (self.data >= lo) & (self.data <= hi)
 
         def backward(g):
-            a._accumulate(g * mask)
+            a._accumulate(g * mask, donate="fresh")
 
         return Tensor._make(out_data, (a,), backward)
 

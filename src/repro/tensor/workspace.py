@@ -1,0 +1,188 @@
+"""Shape/dtype-keyed scratch-buffer arena for the training hot path.
+
+Profiling the serial FL round (``obs.profiler`` + cProfile) shows the
+kernels spend a large share of their time re-allocating the same
+megabyte-scale temporaries every step: im2col patch matrices, padded
+inputs, ``_col2im`` scatter targets, batch-norm intermediates, SGD
+update scratch.  The arena gives each *owner* (a layer or optimizer
+instance) a :class:`WorkspaceSlot` holding named buffers keyed by
+``(tag, shape, dtype)``; requesting the same buffer again returns the
+cached array instead of allocating.
+
+Contract
+--------
+A workspace buffer is **transient scratch**: it is valid from the call
+that requested it until the owner's *next* request for the same
+``(tag, shape, dtype)``.  The kernels rely on the engine's execution
+discipline — a layer is forwarded at most once before its backward runs
+(forward -> backward -> step, per batch) — so buffers captured by a
+backward closure are never clobbered by a second forward of the same
+layer.  Anything that must outlive the op (outputs entering the autodiff
+graph, gradients handed to ``Tensor._accumulate``, which copies on first
+accumulation) is freshly allocated or copied as before; only
+intermediates live in the arena.  See DESIGN.md §10.
+
+Slots are held in a ``WeakValueDictionary``-style per-owner registry
+(:func:`slot_for`), so buffers are collected with their owner.  Hit/miss
+and bytes-saved counts are kept per tag and exported through
+``obs.metrics`` via :func:`publish_metrics`; ``obs.profiler`` joins them
+onto its hotspot table.
+
+Everything here is process-local.  The process-pool executor forks
+workers, each of which grows its own arena — nothing is shared or
+pickled.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["WorkspaceSlot", "slot_for", "stats_snapshot", "tag_stats",
+           "reset", "publish_metrics"]
+
+
+@dataclass
+class TagStat:
+    """Arena traffic for one buffer tag (e.g. ``conv2d.cols``)."""
+
+    hits: int = 0
+    misses: int = 0
+    bytes_alloc: int = 0   # bytes newly allocated on misses
+    bytes_saved: int = 0   # bytes served from cache on hits
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+# tag -> TagStat, aggregated over every slot in this process.
+_stats: dict[str, TagStat] = {}
+
+# owner -> WorkspaceSlot; weak keys so a slot dies with its layer/optimizer.
+_slots: "weakref.WeakKeyDictionary[Any, WorkspaceSlot]" = weakref.WeakKeyDictionary()
+
+
+def _stat(tag: str) -> TagStat:
+    st = _stats.get(tag)
+    if st is None:
+        st = _stats[tag] = TagStat()
+    return st
+
+
+class WorkspaceSlot:
+    """Per-owner cache of scratch buffers and derived objects.
+
+    Buffers are keyed by ``(tag, shape, dtype)``; a layer that sees a new
+    input shape (e.g. a different eval batch size) simply grows a second
+    buffer under the same tag.  Nothing is ever evicted — the working set
+    is bounded by the distinct shapes an owner processes, which for FL
+    training is the train batch shape plus at most one eval batch shape.
+    """
+
+    __slots__ = ("_bufs",)
+
+    def __init__(self):
+        self._bufs: dict[tuple, Any] = {}
+
+    def buffer(self, tag: str, shape: tuple[int, ...], dtype,
+               zero: str = "never") -> np.ndarray:
+        """Return a cached ndarray of ``shape``/``dtype`` for ``tag``.
+
+        ``zero`` controls fill semantics:
+
+        - ``"never"``  — contents are whatever the last user left (caller
+          overwrites every element);
+        - ``"alloc"``  — zero-filled only when first allocated (callers
+          that always write the same sub-region and need the rest to stay
+          zero, e.g. the padded-input border);
+        - ``"always"`` — zeroed on every request (scatter-add targets).
+        """
+        dtype = np.dtype(dtype)
+        key = (tag, shape, dtype)
+        buf = self._bufs.get(key)
+        st = _stat(tag)
+        if buf is None:
+            buf = np.zeros(shape, dtype) if zero in ("alloc", "always") \
+                else np.empty(shape, dtype)
+            self._bufs[key] = buf
+            st.misses += 1
+            st.bytes_alloc += buf.nbytes
+        else:
+            if zero == "always":
+                buf[...] = 0
+            st.hits += 1
+            st.bytes_saved += buf.nbytes
+        return buf
+
+    def cached(self, tag: str, key: tuple, builder: Callable[[], Any]) -> Any:
+        """Memoize a derived object (a strided view over a cached buffer,
+        a precomputed index array) under ``(tag, key)``.
+
+        Views built over :meth:`buffer` arrays stay valid because buffers
+        are never reallocated for a given key.
+        """
+        full = (tag, key)
+        obj = self._bufs.get(full)
+        st = _stat(tag)
+        if obj is None:
+            obj = self._bufs[full] = builder()
+            st.misses += 1
+            if isinstance(obj, np.ndarray):
+                st.bytes_alloc += obj.nbytes
+        else:
+            st.hits += 1
+            if isinstance(obj, np.ndarray):
+                st.bytes_saved += obj.nbytes
+        return obj
+
+
+def slot_for(owner: Any) -> WorkspaceSlot:
+    """The (lazily created) :class:`WorkspaceSlot` of ``owner``.
+
+    ``owner`` must be weak-referenceable (any ordinary object; layers and
+    optimizers qualify).  The slot — and every buffer in it — is released
+    when the owner is garbage-collected.
+    """
+    slot = _slots.get(owner)
+    if slot is None:
+        slot = _slots[owner] = WorkspaceSlot()
+    return slot
+
+
+def tag_stats(tag: str) -> TagStat:
+    """The live :class:`TagStat` for ``tag`` (created empty if missing)."""
+    return _stat(tag)
+
+
+def stats_snapshot() -> dict[str, tuple[int, int, int, int]]:
+    """``{tag: (hits, misses, bytes_alloc, bytes_saved)}`` snapshot."""
+    return {tag: (s.hits, s.misses, s.bytes_alloc, s.bytes_saved)
+            for tag, s in _stats.items()}
+
+
+def reset() -> None:
+    """Drop every slot and zero the counters (test isolation)."""
+    _slots.clear()
+    _stats.clear()
+
+
+def publish_metrics(registry=None) -> None:
+    """Export per-tag counters into an ``obs.metrics`` registry.
+
+    Counter names: ``workspace.hits``, ``workspace.misses``,
+    ``workspace.bytes_saved``, each labelled ``tag=<tag>``.  Values are
+    assigned absolutely (the underlying stats are monotonic), so repeated
+    publishes are idempotent and survive registry swaps.
+    """
+    if registry is None:
+        from repro.obs.metrics import get_registry
+        registry = get_registry()
+    for tag, st in _stats.items():
+        registry.counter("workspace.hits", tag=tag).value = float(st.hits)
+        registry.counter("workspace.misses", tag=tag).value = float(st.misses)
+        registry.counter("workspace.bytes_saved", tag=tag).value = float(st.bytes_saved)

@@ -1,0 +1,87 @@
+"""Golden-state byte-identity: optimized kernels vs the pre-PR reference.
+
+The workspace/in-place kernel rewrites (DESIGN.md §10) must not change
+training numerics *at all*: after identical FedAvg and SPATL rounds, the
+serialized global model state produced by the optimized kernels must be
+byte-for-byte equal to the state produced by the verbatim pre-PR
+implementations in :mod:`repro.nn.reference` — and the process-parallel
+executor must agree with both.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.configs import config_for, make_algorithm, make_setting
+from repro.fl.comm import serialize_state
+from repro.nn.reference import reference_kernels
+
+
+def _final_state(algo_name: str, *, use_reference: bool = False,
+                 workers: int = 1, rounds: int = 2) -> bytes:
+    cfg = config_for("tiny", n_clients=4, n_samples=400, rounds=rounds,
+                     workers=workers, seed=0)
+    if use_reference:
+        with reference_kernels():
+            return _run(algo_name, cfg, rounds)
+    return _run(algo_name, cfg, rounds)
+
+
+def _run(algo_name, cfg, rounds) -> bytes:
+    model_fn, clients = make_setting(cfg)
+    algo = make_algorithm(algo_name, cfg, model_fn, clients)
+    try:
+        for r in range(rounds):
+            algo.run_round(r)
+        return serialize_state(dict(algo.global_model.state_dict()))
+    finally:
+        algo.close()
+
+
+@pytest.mark.parametrize("algo_name", ["fedavg", "spatl"])
+class TestGoldenState:
+    def test_serial_matches_reference(self, algo_name):
+        opt = _final_state(algo_name)
+        ref = _final_state(algo_name, use_reference=True)
+        assert opt == ref, (
+            f"{algo_name}: optimized kernels changed training numerics")
+
+    def test_workers2_matches_serial(self, algo_name):
+        serial = _final_state(algo_name)
+        parallel = _final_state(algo_name, workers=2)
+        assert serial == parallel, (
+            f"{algo_name}: worker-pool run diverged from serial")
+
+
+def test_partial_batch_conv_backward_matches_reference():
+    """Batch sizes whose transposed grad reshapes to a zero-copy view
+    (N == 1) steer BLAS differently; the optimized backward must follow
+    the reference layout exactly.  Regression test for the last-partial-
+    batch divergence found during the rewrite."""
+    from repro.models import build_model
+    from repro.optim.sgd import SGD
+    from repro.tensor import Tensor, functional as F
+
+    def train(use_reference):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((1, 3, 12, 12)).astype(np.float32)
+        y = rng.integers(0, 10, 1)
+
+        def steps():
+            model = build_model("resnet20", width_mult=0.25, input_size=12,
+                                seed=4)
+            opt = SGD(model.named_parameters(), lr=0.05, momentum=0.9)
+            for _ in range(2):
+                opt.zero_grad()
+                F.cross_entropy(model(Tensor(x)), y).backward()
+                opt.step()
+            return {k: v.copy() for k, v in model.state_dict().items()}
+
+        if use_reference:
+            with reference_kernels():
+                return steps()
+        return steps()
+
+    opt_state = train(False)
+    ref_state = train(True)
+    for key in ref_state:
+        assert np.array_equal(opt_state[key], ref_state[key]), key

@@ -1,0 +1,239 @@
+"""Workspace arena, gradient donation, dtype guard, and conv+BN folding.
+
+Covers the DESIGN.md §10 machinery: buffer identity/zero semantics and
+hit/miss accounting, slot lifetime tied to the owner, metrics export,
+the ``_accumulate`` donation protocol (leaf grads never alias arena
+memory), the float64 upcast guard over a full train step, and the
+eval-only conv+BN fold.
+"""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, forbid_dtype, no_grad, workspace
+from repro.tensor.tensor import Tensor as RawTensor
+
+
+class Owner:
+    """Weak-referenceable slot owner."""
+
+
+class TestWorkspaceSlot:
+    def test_buffer_identity_and_keying(self):
+        ws = workspace.slot_for(Owner())
+        a = ws.buffer("t.x", (4, 4), np.float32)
+        assert ws.buffer("t.x", (4, 4), np.float32) is a
+        assert ws.buffer("t.x", (4, 4), np.float64) is not a
+        assert ws.buffer("t.x", (2, 8), np.float32) is not a
+        assert ws.buffer("t.y", (4, 4), np.float32) is not a
+
+    def test_zero_semantics(self):
+        ws = workspace.slot_for(Owner())
+        buf = ws.buffer("t.alloc", (3,), np.float32, zero="alloc")
+        assert np.all(buf == 0)
+        buf[:] = 7
+        assert np.all(ws.buffer("t.alloc", (3,), np.float32, zero="alloc") == 7)
+        always = ws.buffer("t.always", (3,), np.float32, zero="always")
+        always[:] = 5
+        assert np.all(ws.buffer("t.always", (3,), np.float32,
+                                zero="always") == 0)
+
+    def test_cached_memoizes_builder(self):
+        ws = workspace.slot_for(Owner())
+        calls = []
+        obj = ws.cached("t.view", ("k",), lambda: calls.append(1) or [1, 2])
+        assert ws.cached("t.view", ("k",), lambda: calls.append(1) or [3]) is obj
+        assert len(calls) == 1
+        assert ws.cached("t.view", ("other",), lambda: [9]) == [9]
+
+    def test_hit_miss_and_bytes_accounting(self):
+        ws = workspace.slot_for(Owner())
+        before = workspace.tag_stats("t.acct")
+        h0, m0, s0 = before.hits, before.misses, before.bytes_saved
+        ws.buffer("t.acct", (8,), np.float32)
+        ws.buffer("t.acct", (8,), np.float32)
+        st = workspace.tag_stats("t.acct")
+        assert st.misses == m0 + 1
+        assert st.hits == h0 + 1
+        assert st.bytes_saved == s0 + 32
+        assert 0 < st.hit_rate <= 1
+
+    def test_slot_dies_with_owner(self):
+        owner = Owner()
+        slot = workspace.slot_for(owner)
+        assert workspace.slot_for(owner) is slot
+        ref_count = len(workspace._slots)
+        del owner
+        gc.collect()
+        assert len(workspace._slots) < ref_count
+
+    def test_publish_metrics(self):
+        from repro.obs.metrics import MetricsRegistry
+        ws = workspace.slot_for(Owner())
+        ws.buffer("t.pub", (4,), np.float32)
+        ws.buffer("t.pub", (4,), np.float32)
+        reg = MetricsRegistry()
+        workspace.publish_metrics(reg)
+        st = workspace.tag_stats("t.pub")
+        assert reg.counter("workspace.hits", tag="t.pub").value == st.hits
+        assert reg.counter("workspace.misses", tag="t.pub").value == st.misses
+        assert reg.counter("workspace.bytes_saved",
+                           tag="t.pub").value == st.bytes_saved
+
+
+class TestGradientDonation:
+    """``_accumulate(grad, donate=...)``: 'fresh' transfers ownership
+    unconditionally; 'scratch' (arena memory) is taken only by non-leaf
+    nodes, whose grads the engine releases — user-visible ``.grad`` of
+    leaves must never alias the arena."""
+
+    def test_leaf_copies_scratch(self):
+        leaf = Tensor(np.zeros(3, dtype=np.float32), requires_grad=True)
+        arena = np.ones(3, dtype=np.float32)
+        leaf._accumulate(arena, donate="scratch")
+        assert not np.shares_memory(leaf.grad, arena)
+        np.testing.assert_array_equal(leaf.grad, arena)
+
+    def test_leaf_takes_fresh(self):
+        leaf = Tensor(np.zeros(3, dtype=np.float32), requires_grad=True)
+        fresh = np.ones(3, dtype=np.float32)
+        leaf._accumulate(fresh, donate="fresh")
+        assert np.shares_memory(leaf.grad, fresh)
+
+    def test_nonleaf_takes_scratch(self):
+        parent = Tensor(np.zeros(3, dtype=np.float32), requires_grad=True)
+        node = RawTensor._make(np.zeros(3, dtype=np.float32), (parent,),
+                               lambda g: None)
+        arena = np.ones(3, dtype=np.float32)
+        node._accumulate(arena, donate="scratch")
+        assert np.shares_memory(node.grad, arena)
+
+    def test_no_donation_copies(self):
+        leaf = Tensor(np.zeros(3, dtype=np.float32), requires_grad=True)
+        buf = np.ones(3, dtype=np.float32)
+        leaf._accumulate(buf)
+        assert not np.shares_memory(leaf.grad, buf)
+
+    def test_conv_input_grad_does_not_alias_arena(self):
+        """End to end: a leaf conv input's ``.grad`` survives a second
+        forward/backward unchanged (no aliasing of reused arena memory)."""
+        from repro.nn.conv import Conv2d
+        rng = np.random.default_rng(0)
+        layer = Conv2d(2, 3, 3, padding=1, rng=rng)
+        x1 = Tensor(rng.standard_normal((2, 2, 6, 6)).astype(np.float32),
+                    requires_grad=True)
+        (layer(x1) ** 2).sum().backward()
+        saved = x1.grad.copy()
+        x2 = Tensor(rng.standard_normal((2, 2, 6, 6)).astype(np.float32),
+                    requires_grad=True)
+        (layer(x2) ** 2).sum().backward()
+        np.testing.assert_array_equal(x1.grad, saved)
+
+
+class TestForbidDtype:
+    def test_blocks_tensor_and_grad(self):
+        with forbid_dtype(np.float64):
+            with pytest.raises(AssertionError):
+                Tensor(np.zeros(2, dtype=np.float64), dtype=np.float64)
+            t = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+            with pytest.raises(AssertionError):
+                t._accumulate(np.zeros(2, dtype=np.float64))
+        # outside the context both are fine again
+        Tensor(np.zeros(2, dtype=np.float64), dtype=np.float64)
+
+    def test_resnet20_train_step_stays_float32(self):
+        """A full forward/backward/step at the tiny scale must not route
+        any float64 array through the Tensor/gradient surface."""
+        from repro.models import build_model
+        from repro.optim.sgd import SGD
+        from repro.tensor import functional as F
+        rng = np.random.default_rng(1)
+        model = build_model("resnet20", width_mult=0.25, input_size=16, seed=2)
+        opt = SGD(model.named_parameters(), lr=0.05, momentum=0.9)
+        x = rng.standard_normal((8, 3, 16, 16)).astype(np.float32)
+        y = rng.integers(0, 10, 8)
+        with forbid_dtype(np.float64):
+            loss = F.cross_entropy(model(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+
+
+class TestConvBnFold:
+    @pytest.mark.parametrize("name,in_ch,size", [
+        ("resnet20", 3, 16),
+        ("vgg11", 3, 32),       # five maxpools: needs the full 32x32
+        ("cnn2", 1, 28),        # MNIST-shaped
+    ])
+    def test_verify_fold_registry_models(self, name, in_ch, size):
+        from repro.models import build_model
+        from repro.nn.fuse import verify_fold
+        model = build_model(name, width_mult=0.25, input_size=size, seed=3)
+        # non-trivial running stats so the fold actually rescales
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.standard_normal((4, in_ch, size, size)).astype(np.float32))
+        model(x)        # one training-mode batch updates running stats
+        verify_fold(model, x)
+
+    def test_folded_inference_requires_eval_and_no_grad(self):
+        from repro.models import build_model
+        from repro.nn.fuse import folded_inference
+        model = build_model("resnet20", width_mult=0.25, input_size=16, seed=3)
+        with pytest.raises(RuntimeError):
+            with folded_inference(model):
+                pass
+        model.eval()
+        with pytest.raises(RuntimeError):
+            with folded_inference(model):
+                pass
+        with no_grad(), folded_inference(model):
+            pass
+
+    def test_fold_inert_outside_context(self):
+        from repro.nn import conv as _conv
+        from repro.models import build_model
+        from repro.nn.fuse import folded_inference
+        model = build_model("resnet20", width_mult=0.25, input_size=16, seed=3)
+        model.eval()
+        with no_grad(), folded_inference(model):
+            assert _conv._ACTIVE_FOLDS and _conv._FOLDED_BNS
+        assert not _conv._ACTIVE_FOLDS
+        assert not _conv._FOLDED_BNS
+
+    def test_training_numerics_untouched_by_fold_machinery(self):
+        """Training-mode forwards ignore any registered folds entirely
+        (the fold tables are only populated inside the context, which
+        training can never enter)."""
+        from repro.models import build_model
+        rng = np.random.default_rng(2)
+        model = build_model("resnet20", width_mult=0.25, input_size=16, seed=5)
+        x = Tensor(rng.standard_normal((2, 3, 16, 16)).astype(np.float32))
+        out1 = model(x).data.copy()
+        model.eval()
+        with no_grad():
+            from repro.nn.fuse import folded_inference
+            with folded_inference(model):
+                model(x)
+        model.train()
+        out2 = model(x).data
+        np.testing.assert_array_equal(out1, out2)
+
+
+class TestProfilerWorkspaceJoin:
+    def test_workspace_stats_deltas_and_table(self):
+        from repro.obs import OpProfiler, hotspot_table
+        from repro.nn.conv import Conv2d
+        rng = np.random.default_rng(0)
+        layer = Conv2d(2, 3, 3, padding=1, rng=rng)
+        x = Tensor(rng.standard_normal((2, 2, 8, 8)).astype(np.float32),
+                   requires_grad=True)
+        (layer(x) ** 2).sum().backward()        # warm the arena first
+        with OpProfiler() as prof:
+            (layer(x) ** 2).sum().backward()
+        stats = prof.workspace_stats()
+        conv_tags = {t for t in stats if t.startswith("conv2d.")}
+        assert conv_tags, stats
+        assert all(sum(d) > 0 for d in stats.values())
+        table = prof.report(n=8)
+        assert "ws hit%" in table and "ws MB saved" in table
