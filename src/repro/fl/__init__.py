@@ -15,6 +15,10 @@ estimated.
 Beyond the baselines, the package supplies the framework plumbing every
 algorithm rides on:
 
+- :mod:`repro.fl.wire` — the fast transport core behind
+  :mod:`repro.fl.comm`: zero-copy codec, arena-backed scratch
+  serialization, and the per-round :class:`BroadcastCache`
+  (DESIGN.md §11);
 - :mod:`repro.fl.parallel` — pluggable round executors: the default
   in-process :class:`SerialExecutor` and a
   :class:`ProcessPoolRoundExecutor` that fans per-client work over worker
@@ -30,6 +34,7 @@ from repro.fl.comm import (CommLedger, PayloadError, payload_nbytes,
                            serialize_state, deserialize_state,
                            sparse_payload_nbytes, quantize_state,
                            dequantize_state)
+from repro.fl.wire import BroadcastCache, codec_validate, state_fingerprint
 from repro.fl.resilience import (ClientCrashed, ClientDropped, ClientFailure,
                                  FaultStats, RetryPolicy, StragglerTimeout,
                                  TransferCorrupted, WorkerCrashed)
@@ -63,4 +68,5 @@ __all__ = [
     "TransferCorrupted", "WorkerCrashed",
     "RoundExecutor", "SerialExecutor", "ProcessPoolRoundExecutor",
     "make_executor",
+    "BroadcastCache", "codec_validate", "state_fingerprint",
 ]

@@ -33,9 +33,9 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.fl.client import Client
-from repro.fl.comm import (CommLedger, deserialize_state, payload_nbytes,
-                           serialize_state)
+from repro.fl.comm import CommLedger, deserialize_state, payload_nbytes
 from repro.fl.faults import FaultModel, FaultyTransport
+from repro.fl.wire import BroadcastCache, codec_validate
 from repro.fl.parallel import RoundExecutor, SerialExecutor
 from repro.fl.resilience import (ClientCrashed, ClientFailure, FaultStats,
                                  RetryPolicy, TransferCorrupted)
@@ -130,7 +130,15 @@ class FederatedAlgorithm:
         self.retry_policy = retry_policy or RetryPolicy()
         self.min_clients = min_clients
         self.max_round_resamples = max_round_resamples
-        self.transport = (FaultyTransport(fault_model, self.ledger)
+        # Per-round broadcast-encoding cache (DESIGN.md §11): the downlink
+        # and worker-sync states are client-invariant within a round, so
+        # they are framed once under the round's generation token and the
+        # cached blob is re-sent.  The ledger still charges every client
+        # the full byte count — caching never changes accounting.
+        self._broadcast = BroadcastCache()
+        self._bcast_gen = 0
+        self.transport = (FaultyTransport(fault_model, self.ledger,
+                                          broadcast=self._broadcast)
                           if fault_model is not None else None)
         self.fault_stats = FaultStats()  # cumulative over the whole run
         # Round execution engine (DESIGN.md §9).  SerialExecutor keeps the
@@ -186,6 +194,17 @@ class FederatedAlgorithm:
         model_state = {k[len("model."):]: v for k, v in state.items()
                        if k.startswith("model.")}
         self.global_model.load_state_dict(model_state)
+
+    def encoded_sync_state(self) -> bytes:
+        """:meth:`worker_sync_state` as wire bytes, broadcast-cached.
+
+        The sync state is identical for every worker of a round, so it is
+        framed once under the round's generation token ("sync" channel of
+        the :class:`~repro.fl.wire.BroadcastCache`) — repeat calls within
+        a round (e.g. for a re-sampled cohort) return the cached blob.
+        """
+        return self._broadcast.encode(self.worker_sync_state(),
+                                      token=self._bcast_gen, channel="sync")
 
     def client_context(self, client: Client) -> Any:
         """Per-client server-side state to ship *to* the worker (beyond
@@ -247,6 +266,15 @@ class FederatedAlgorithm:
         neither touches numerics, so traced runs stay seed-identical.
         """
         tracer = get_tracer()
+        # New round ⇒ new broadcast generation: global state may have
+        # mutated since the last aggregate, so cached downlink/sync
+        # encodings from earlier rounds must not be served under the old
+        # token.  Within one round the server state is constant (all
+        # mutation happens in ``aggregate``, after every collect), so one
+        # token per round is exactly the right granularity.
+        self._bcast_gen += 1
+        if self.transport is not None:
+            self.transport.token = self._bcast_gen
         with tracer.span("round", round=round_idx) as round_span:
             stats = FaultStats()
             quorum = max(1, self.min_clients)
@@ -319,6 +347,11 @@ class FederatedAlgorithm:
         spans carry the same byte totals as the ledger.  Numerics and
         accounting are untouched: the codec is lossless and the ledger
         still records ``payload_nbytes`` (== the serialized length).
+        The downlink pass serves its blob from the round's
+        :class:`~repro.fl.wire.BroadcastCache` (the payload is
+        client-invariant) and the upload pass serializes into arena
+        scratch; both decode zero-copy — the spans keep their exact byte
+        counts, only the CPU cost drops.
         """
         tracer = get_tracer()
         cid = client.client_id
@@ -328,7 +361,9 @@ class FederatedAlgorithm:
                 down_bytes = payload_nbytes(down)
                 span.set(bytes=down_bytes)
                 if tracer.enabled:
-                    deserialize_state(serialize_state(down))
+                    blob = self._broadcast.encode(down, token=self._bcast_gen,
+                                                  channel="down")
+                    deserialize_state(blob, copy=False)
             self.ledger.record_down(round_idx, cid, down_bytes)
             with tracer.span("local_update", round=round_idx, client=cid):
                 update = self.local_update(client, round_idx)
@@ -337,7 +372,7 @@ class FederatedAlgorithm:
                 up_bytes = payload_nbytes(up)
                 span.set(bytes=up_bytes)
                 if tracer.enabled:
-                    deserialize_state(serialize_state(up))
+                    codec_validate(up, owner=self)
             self.ledger.record_up(round_idx, cid, up_bytes)
             return update
 

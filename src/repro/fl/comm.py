@@ -29,44 +29,33 @@ bit-flips anywhere in the entry — including its name and shape — are
 The checksummed variant is what :class:`repro.fl.faults.FaultyTransport`
 puts on the (simulated) wire; the plain variant stays byte-identical to
 the original format so fault-free accounting is unchanged.
+
+The codec core lives in :mod:`repro.fl.wire` (DESIGN.md §11): a
+zero-copy single-buffer writer, a read-only-view decode mode, and the
+per-round :class:`~repro.fl.wire.BroadcastCache`.  This module keeps the
+public entry points — :func:`serialize_state` / :func:`deserialize_state`
+wrap the wire core in the traced codec spans the observability layer
+cross-checks against the ledger — plus the sizing helpers, the ledger,
+and the pytree update framing.
 """
 
 from __future__ import annotations
 
 import json
-import struct
-import zlib
 from collections import defaultdict
 from typing import Any
 
 import numpy as np
 
+from repro.fl.wire import (PayloadError, payload_nbytes,
+                           sparse_payload_nbytes)
+from repro.fl import wire
 from repro.obs.trace import get_tracer
 
-
-class PayloadError(ValueError):
-    """A wire payload failed structural validation or checksum.
-
-    ``entry`` names the state-dict entry being decoded when the fault was
-    found (``None`` while reading the global header) and ``offset`` is the
-    byte offset at which decoding could not proceed.
-    """
-
-    def __init__(self, message: str, entry: str | None = None,
-                 offset: int | None = None):
-        detail = message
-        if entry is not None:
-            detail += f" (entry {entry!r})"
-        if offset is not None:
-            detail += f" (offset {offset})"
-        super().__init__(detail)
-        self.entry = entry
-        self.offset = offset
-
-_DTYPES = [np.dtype(np.float32), np.dtype(np.float64), np.dtype(np.int32),
-           np.dtype(np.int64), np.dtype(np.uint8), np.dtype(bool),
-           np.dtype(np.float16)]
-_DTYPE_CODE = {dt: i for i, dt in enumerate(_DTYPES)}
+__all__ = ["PayloadError", "serialize_state", "deserialize_state",
+           "payload_nbytes", "sparse_payload_nbytes", "quantize_state",
+           "dequantize_state", "encode_update", "decode_update",
+           "CommLedger"]
 
 
 def serialize_state(state: dict[str, np.ndarray],
@@ -76,39 +65,26 @@ def serialize_state(state: dict[str, np.ndarray],
     With ``checksums=True`` every entry record is followed by its CRC32,
     making corruption detectable by :func:`deserialize_state`.
 
+    The encoding runs through the zero-copy single-buffer writer in
+    :mod:`repro.fl.wire` — the wire size is computed up front and every
+    header and array is written in place, so the payload is produced
+    with one data pass instead of per-entry joins.  Entry names above
+    65535 UTF-8 bytes or dimensions at or above ``2**32`` don't fit the
+    headers and raise :class:`PayloadError` naming the entry.
+
     When tracing is enabled, the whole encode is wrapped in a
     ``serialize`` span whose ``bytes`` attribute is the exact wire size —
     the same number the :class:`CommLedger` records — so traces and the
     communication tables line up byte-for-byte.
     """
     with get_tracer().span("serialize", checksums=checksums) as span:
-        parts = [struct.pack("<I", len(state))]
-        for name in state:
-            arr = np.ascontiguousarray(state[name])
-            if np.ndim(state[name]) == 0:
-                # ascontiguousarray promotes 0-d to 1-d; undo it so the wire
-                # shape (and payload_nbytes) match the caller's array exactly
-                arr = arr.reshape(())
-            if arr.dtype not in _DTYPE_CODE:
-                raise TypeError(f"unsupported dtype {arr.dtype} for {name!r}")
-            raw_name = name.encode("utf-8")
-            record = b"".join((
-                struct.pack("<H", len(raw_name)),
-                raw_name,
-                struct.pack("<BB", _DTYPE_CODE[arr.dtype], arr.ndim),
-                struct.pack(f"<{arr.ndim}I", *arr.shape),
-                arr.tobytes(),
-            ))
-            parts.append(record)
-            if checksums:
-                parts.append(struct.pack("<I", zlib.crc32(record)))
-        blob = b"".join(parts)
+        blob = wire.serialize(state, checksums=checksums)
         span.set(bytes=len(blob), entries=len(state))
     return blob
 
 
-def deserialize_state(payload: bytes,
-                      checksums: bool = False) -> dict[str, np.ndarray]:
+def deserialize_state(payload: bytes, checksums: bool = False,
+                      copy: bool = True) -> dict[str, np.ndarray]:
     """Decode bytes produced by :func:`serialize_state`.
 
     Every offset is validated against ``len(payload)`` before it is read,
@@ -119,116 +95,18 @@ def deserialize_state(payload: bytes,
     a payload that names the same entry twice would silently let the last
     occurrence win, so it is rejected with :class:`PayloadError`.
 
+    ``copy=False`` skips the per-entry copies and returns **read-only**
+    views over ``payload`` (see :func:`repro.fl.wire.deserialize`) — the
+    fast path for decode-then-read consumers such as aggregation.
+
     Like :func:`serialize_state`, the decode is wrapped in a traced
     ``deserialize`` span carrying the payload's byte count.
     """
     with get_tracer().span("deserialize", checksums=checksums,
-                           bytes=len(payload)) as span:
-        return _deserialize_state(payload, checksums, span)
-
-
-def _deserialize_state(payload: bytes, checksums: bool,
-                       span) -> dict[str, np.ndarray]:
-    """Decode loop behind :func:`deserialize_state` (span already open)."""
-    total = len(payload)
-    out: dict[str, np.ndarray] = {}
-    off = 0
-
-    def need(n: int, what: str, entry: str | None) -> None:
-        if off + n > total:
-            raise PayloadError(
-                f"truncated payload: need {n} byte(s) for {what}, "
-                f"have {total - off}", entry=entry, offset=off)
-
-    need(4, "entry count", None)
-    (n_entries,) = struct.unpack_from("<I", payload, off)
-    off += 4
-    for i in range(n_entries):
-        entry_label = f"#{i}"
-        record_start = off
-        need(2, "name length", entry_label)
-        (name_len,) = struct.unpack_from("<H", payload, off)
-        off += 2
-        need(name_len, "entry name", entry_label)
-        try:
-            name = payload[off:off + name_len].decode("utf-8")
-        except UnicodeDecodeError as err:
-            raise PayloadError(f"undecodable entry name: {err}",
-                               entry=entry_label, offset=off) from err
-        off += name_len
-        if name in out:
-            raise PayloadError("duplicate entry name", entry=name,
-                               offset=record_start)
-        need(2, "dtype/ndim header", name)
-        code, ndim = struct.unpack_from("<BB", payload, off)
-        off += 2
-        if code >= len(_DTYPES):
-            raise PayloadError(f"unknown dtype code {code}", entry=name,
-                               offset=off - 2)
-        if ndim > 32:  # numpy's own dimensionality ceiling
-            raise PayloadError(f"implausible ndim {ndim}", entry=name,
-                               offset=off - 1)
-        need(4 * ndim, "shape", name)
-        shape = struct.unpack_from(f"<{ndim}I", payload, off)
-        off += 4 * ndim
-        dtype = _DTYPES[code]
-        n_items = 1
-        for dim in shape:
-            n_items *= int(dim)
-        nbytes = dtype.itemsize * n_items
-        need(nbytes, f"array data ({nbytes} bytes)", name)
-        arr = np.frombuffer(payload, dtype=dtype, count=n_items,
-                            offset=off).reshape(shape)
-        off += nbytes
-        if checksums:
-            need(4, "entry checksum", name)
-            (stored,) = struct.unpack_from("<I", payload, off)
-            computed = zlib.crc32(payload[record_start:off])
-            off += 4
-            if stored != computed:
-                raise PayloadError(
-                    f"checksum mismatch: stored {stored:#010x}, "
-                    f"computed {computed:#010x}", entry=name,
-                    offset=off - 4)
-        out[name] = arr.copy()
-    if off != total:
-        raise PayloadError(
-            f"{total - off} trailing byte(s) after final entry",
-            offset=off)
-    span.set(entries=len(out))
+                           bytes=memoryview(payload).nbytes) as span:
+        out = wire.deserialize(payload, checksums=checksums, copy=copy)
+        span.set(entries=len(out), zero_copy=not copy)
     return out
-
-
-def _entry_overhead(name: str, ndim: int) -> int:
-    return 2 + len(name.encode("utf-8")) + 2 + 4 * ndim
-
-
-def payload_nbytes(state: dict[str, np.ndarray],
-                   checksums: bool = False) -> int:
-    """Exact wire size of a dense state dict (== len(serialize_state(state)))."""
-    total = 4
-    for name, arr in state.items():
-        arr = np.asarray(arr)
-        total += _entry_overhead(name, arr.ndim) + arr.nbytes
-        if checksums:
-            total += 4
-    return total
-
-
-def sparse_payload_nbytes(selected: dict[str, tuple[np.ndarray, np.ndarray]]) -> int:
-    """Wire size of a salient payload: {layer: (int filter indices, values)}.
-
-    Indices travel as int32 (one per selected filter); values as their own
-    dtype.  Each layer contributes two entries (``<name>.idx``,
-    ``<name>.val``).
-    """
-    total = 4
-    for name, (indices, values) in selected.items():
-        indices = np.asarray(indices)
-        values = np.asarray(values)
-        total += _entry_overhead(name + ".idx", 1) + 4 * indices.size
-        total += _entry_overhead(name + ".val", values.ndim) + values.nbytes
-    return total
 
 
 def quantize_state(state: dict[str, np.ndarray],
@@ -298,13 +176,25 @@ def _flatten_node(node: Any, arrays: dict[str, np.ndarray]) -> Any:
     raise TypeError(f"cannot frame update node of type {type(node).__name__}")
 
 
+def _lookup_array(manifest: Any, arrays: dict[str, np.ndarray]) -> np.ndarray:
+    """The array a manifest node points at; missing ids are a payload
+    fault (inconsistent framing), not a caller bug, so raise
+    :class:`PayloadError` instead of leaking ``KeyError``."""
+    key = manifest.get("id")
+    if key is None or key not in arrays:
+        raise PayloadError(
+            f"pytree manifest references missing array id {key!r}",
+            entry=key if isinstance(key, str) else None)
+    return arrays[key]
+
+
 def _unflatten_node(manifest: Any, arrays: dict[str, np.ndarray]) -> Any:
     """Inverse of :func:`_flatten_node`."""
     kind = manifest["k"]
     if kind == "arr":
-        return arrays[manifest["id"]]
+        return _lookup_array(manifest, arrays)
     if kind == "np":
-        return arrays[manifest["id"]][()]
+        return _lookup_array(manifest, arrays)[()]
     if kind == "dict":
         return {name: _unflatten_node(v, arrays)
                 for name, v in manifest["items"]}
@@ -333,9 +223,17 @@ def encode_update(update: Any, checksums: bool = False) -> bytes:
     return serialize_state(arrays, checksums=checksums)
 
 
-def decode_update(payload: bytes, checksums: bool = False) -> Any:
-    """Decode bytes produced by :func:`encode_update`."""
-    arrays = deserialize_state(payload, checksums=checksums)
+def decode_update(payload: bytes, checksums: bool = False,
+                  copy: bool = True) -> Any:
+    """Decode bytes produced by :func:`encode_update`.
+
+    A manifest that references an array id absent from the payload is an
+    inconsistent framing and raises :class:`PayloadError` (never a bare
+    ``KeyError``).  ``copy=False`` decodes the arrays as read-only views
+    over ``payload`` — safe for aggregate-then-discard consumers like the
+    parallel engine's commit path, which only reads the update.
+    """
+    arrays = deserialize_state(payload, checksums=checksums, copy=copy)
     if _MANIFEST_KEY not in arrays:
         raise PayloadError("framed update lacks its pytree manifest",
                            entry=_MANIFEST_KEY)

@@ -119,16 +119,28 @@ class FaultModel:
 class FaultyTransport:
     """Wire transport that serializes, maybe-corrupts, and re-decodes.
 
-    Both directions go through ``serialize_state(..., checksums=True)``;
-    the receiving side runs the validating decoder, so every corruption
-    surfaces as :class:`TransferCorrupted` (never a silent acceptance).
-    Bytes are charged to the ledger when they are *sent*, i.e. corrupted
-    and retried transfers cost real (simulated) bandwidth.
+    Both directions go through the checksummed wire codec; the receiving
+    side runs the validating decoder, so every corruption surfaces as
+    :class:`TransferCorrupted` (never a silent acceptance).  Bytes are
+    charged to the ledger when they are *sent*, i.e. corrupted and
+    retried transfers cost real (simulated) bandwidth.
+
+    When a :class:`~repro.fl.wire.BroadcastCache` is attached (the server
+    loop does this), the client-invariant downlink state is framed once
+    per round under the server's round ``token`` and the cached blob is
+    re-sent to every client — the encode is cached, the ledger charge is
+    not (DESIGN.md §11).  Uploads are per-client content and always take
+    a fresh encode.  Decoding uses the zero-copy mode: the returned views
+    are backed by the immutable wire bytes, which stay alive through the
+    views' buffer references.
     """
 
-    def __init__(self, fault_model: FaultModel, ledger: CommLedger):
+    def __init__(self, fault_model: FaultModel, ledger: CommLedger,
+                 broadcast=None):
         self.fault_model = fault_model
         self.ledger = ledger
+        self.broadcast = broadcast
+        self.token = 0  # server round token; bumped by run_round
 
     def download(self, round_idx: int, client_id: int,
                  state: dict[str, np.ndarray], salt: int = 0,
@@ -145,14 +157,18 @@ class FaultyTransport:
     def _transfer(self, round_idx: int, client_id: int,
                   state: dict[str, np.ndarray], salt: int, attempt: int,
                   direction: str) -> dict[str, np.ndarray]:
-        blob = serialize_state(state, checksums=True)
+        if direction == "down" and self.broadcast is not None:
+            blob = self.broadcast.encode(state, token=self.token,
+                                         channel="down", checksums=True)
+        else:
+            blob = serialize_state(state, checksums=True)
         record = (self.ledger.record_down if direction == "down"
                   else self.ledger.record_up)
         record(round_idx, client_id, len(blob))
-        wire = self.fault_model.corrupt(blob, round_idx, client_id, salt,
-                                        attempt, direction)
+        wire_bytes = self.fault_model.corrupt(blob, round_idx, client_id,
+                                              salt, attempt, direction)
         try:
-            return deserialize_state(wire, checksums=True)
+            return deserialize_state(wire_bytes, checksums=True, copy=False)
         except PayloadError as err:
             raise TransferCorrupted(client_id, round_idx, direction,
                                     err) from err

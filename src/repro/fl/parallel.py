@@ -19,7 +19,9 @@ Parallel runs are **seed- and byte-identical** to serial runs because
 2. state crossing the process boundary goes through lossless codecs: the
    global sync state and the update objects through the very wire codec
    (:mod:`repro.fl.comm`) the simulated network uses, per-client extras
-   through pickle;
+   through pickle — and the sync state is framed once per round by the
+   server's :class:`~repro.fl.wire.BroadcastCache` and shipped once per
+   *worker* (barrier-gated preload), not once per client;
 3. the parent commits results — client ``local_state``, policy state,
    ledger traffic, fault stats, metrics, trace spans, and finally the
    update itself — in deterministic cohort order, regardless of which
@@ -36,13 +38,14 @@ from __future__ import annotations
 import contextlib
 import multiprocessing as mp
 import pickle
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.fl.comm import (CommLedger, decode_update, deserialize_state,
-                           encode_update, serialize_state)
+                           encode_update)
 from repro.fl.resilience import ClientFailure, FaultStats, WorkerCrashed
 from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
 from repro.obs.trace import NullTracer, Tracer, get_tracer, set_tracer
@@ -118,6 +121,7 @@ def _untraced():
 _WORKER_ALGO: Any = None
 _WORKER_CLIENTS: dict[int, Any] = {}
 _WORKER_SYNC_VERSION: int = -1
+_WORKER_BARRIER: Any = None   # shared barrier for sync-blob preloads
 
 
 def _pickle_algorithm(algorithm: Any) -> bytes:
@@ -139,12 +143,41 @@ def _pickle_algorithm(algorithm: Any) -> bytes:
             setattr(algorithm, attr, value)
 
 
-def _worker_init(algo_blob: bytes) -> None:
+def _worker_init(algo_blob: bytes, barrier: Any = None) -> None:
     """Pool initializer: install the algorithm replica in this process."""
-    global _WORKER_ALGO, _WORKER_CLIENTS, _WORKER_SYNC_VERSION
+    global _WORKER_ALGO, _WORKER_CLIENTS, _WORKER_SYNC_VERSION, _WORKER_BARRIER
     _WORKER_ALGO = pickle.loads(algo_blob)
     _WORKER_CLIENTS = {c.client_id: c for c in _WORKER_ALGO.clients}
     _WORKER_SYNC_VERSION = -1
+    _WORKER_BARRIER = barrier
+
+
+def _apply_sync(version: int, blob: bytes) -> None:
+    """Decode and install one sync blob on this worker's replica."""
+    global _WORKER_SYNC_VERSION
+    with _untraced():
+        _WORKER_ALGO.load_worker_sync_state(deserialize_state(blob))
+    _WORKER_SYNC_VERSION = version
+
+
+def _preload_sync(version: int, blob: bytes, timeout: float) -> bool:
+    """Install the round's sync blob, holding this worker at the barrier.
+
+    The parent submits exactly ``workers`` of these per collect; the
+    shared barrier keeps each worker parked until *every* worker has
+    taken (and applied) one, so no worker can consume two preloads and
+    leave a sibling stale.  The large sync state therefore crosses the
+    process boundary once per worker per round instead of once per
+    client.  Returns False (instead of raising) when the barrier breaks
+    — e.g. a sibling died — so the parent can fall back to per-task
+    blobs for the round.
+    """
+    _apply_sync(version, blob)
+    try:
+        _WORKER_BARRIER.wait(timeout)
+    except threading.BrokenBarrierError:
+        return False
+    return True
 
 
 @dataclass
@@ -155,7 +188,10 @@ class _ClientTask:
     round_idx: int
     salt: int
     sync_version: int        # bumped per collect; workers re-sync on change
-    sync_blob: bytes         # serialize_state(algorithm.worker_sync_state())
+    sync_blob: bytes | None  # encoded worker_sync_state; None when the
+                             # blob was already distributed via _preload_sync
+    bcast_token: int         # server round token for the worker's own
+                             # BroadcastCache / FaultyTransport
     local_state_blob: bytes  # pickled client.local_state
     context_blob: bytes      # pickled algorithm.client_context(client)
     traced: bool             # parent tracer enabled → record worker spans
@@ -186,14 +222,21 @@ def _run_client_task(task: _ClientTask) -> _ClientOutcome:
     when its version changed, so the (large) global state deserializes
     once per worker per round, not once per client.
     """
-    global _WORKER_SYNC_VERSION
     algo = _WORKER_ALGO
     tracer = Tracer() if task.traced else NullTracer()
     set_tracer(tracer)
     if task.sync_version != _WORKER_SYNC_VERSION:
-        with _untraced():
-            algo.load_worker_sync_state(deserialize_state(task.sync_blob))
-        _WORKER_SYNC_VERSION = task.sync_version
+        if task.sync_blob is None:
+            raise RuntimeError(
+                f"worker missed sync preload for version {task.sync_version} "
+                f"(has {_WORKER_SYNC_VERSION}) and the task carries no blob")
+        _apply_sync(task.sync_version, task.sync_blob)
+    # Round token for this replica's broadcast cache: the worker's own
+    # FaultyTransport / traced downlink frame the (client-invariant)
+    # downlink once per round under this token instead of once per client.
+    algo._bcast_gen = task.bcast_token
+    if algo.transport is not None:
+        algo.transport.token = task.bcast_token
     client = _WORKER_CLIENTS[task.client_id]
     client.local_state = pickle.loads(task.local_state_blob)
     context = pickle.loads(task.context_blob)
@@ -240,21 +283,32 @@ class ProcessPoolRoundExecutor(RoundExecutor):
 
     The pool is built lazily on first ``collect`` for a given algorithm
     (each worker unpickles one algorithm replica in its initializer) and
-    reused across rounds; per-round server state travels as one
-    versioned ``serialize_state`` blob per task, applied at most once
-    per worker per round.  Results are committed strictly in cohort
-    order — see the module docstring for the determinism argument.
+    reused across rounds.  Per-round server state is framed once through
+    the algorithm's :class:`~repro.fl.wire.BroadcastCache`
+    (``encoded_sync_state``) and — with ``broadcast=True``, the default —
+    distributed once per *worker* via barrier-gated preload tasks, so
+    client tasks stay small; with ``broadcast=False`` (and automatically
+    as a per-round fallback when a preload fails) the blob rides along in
+    every task, the pre-cache behaviour.  Either way a worker applies the
+    blob at most once per round.  Results are committed strictly in
+    cohort order — see the module docstring for the determinism argument.
 
     ``mp_context`` defaults to ``fork`` where available (cheap replica
     setup via copy-on-write; also required for algorithm classes defined
     in non-importable modules) and falls back to ``spawn``.
     """
 
-    def __init__(self, workers: int, mp_context: Any = None):
+    # Deadline for workers meeting at the preload barrier; generous —
+    # it only has to cover worker process startup, never training.
+    _SYNC_BARRIER_TIMEOUT = 120.0
+
+    def __init__(self, workers: int, mp_context: Any = None,
+                 broadcast: bool = True):
         if workers < 2:
             raise ValueError("ProcessPoolRoundExecutor needs >= 2 workers; "
                              "use SerialExecutor (or make_executor) instead")
         self.workers = workers
+        self.broadcast = broadcast
         if mp_context is None:
             method = ("fork" if "fork" in mp.get_all_start_methods()
                       else "spawn")
@@ -264,6 +318,7 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         self._mp_context = mp_context
         self._pool: ProcessPoolExecutor | None = None
         self._pool_owner: int | None = None   # id() of the bound algorithm
+        self._barrier: Any = None
         self._sync_version = 0
 
     def _ensure_pool(self, algorithm) -> ProcessPoolExecutor:
@@ -272,12 +327,37 @@ class ProcessPoolRoundExecutor(RoundExecutor):
             return self._pool
         self.close()
         blob = _pickle_algorithm(algorithm)
+        # The barrier reaches workers through process inheritance
+        # (initargs travel in the worker-spawn arguments), which works for
+        # both fork and spawn contexts.
+        self._barrier = self._mp_context.Barrier(self.workers)
         self._pool = ProcessPoolExecutor(max_workers=self.workers,
                                          mp_context=self._mp_context,
                                          initializer=_worker_init,
-                                         initargs=(blob,))
+                                         initargs=(blob, self._barrier))
         self._pool_owner = id(algorithm)
         return self._pool
+
+    def _distribute_sync(self, pool, sync_blob: bytes) -> bool:
+        """Ship the round's sync blob to every worker exactly once.
+
+        Submits ``workers`` barrier-gated preload tasks: each worker
+        applies the blob, then parks at the shared barrier until all
+        workers have theirs, which guarantees one preload per worker.
+        Returns False — closing the pool if it broke — when distribution
+        could not be confirmed; the caller falls back to per-task blobs.
+        """
+        futures = [pool.submit(_preload_sync, self._sync_version, sync_blob,
+                               self._SYNC_BARRIER_TIMEOUT)
+                   for _ in range(self.workers)]
+        try:
+            ok = all([f.result() for f in futures])
+        except BrokenProcessPool:
+            self.close()   # caller re-ensures a healthy pool
+            return False
+        if not ok and self._barrier is not None:
+            self._barrier.reset()   # clear the broken state for next round
+        return ok
 
     def collect(self, algorithm, selected, round_idx, salt, stats):
         """Dispatch the cohort to workers; commit results in cohort order."""
@@ -285,11 +365,17 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         pool = self._ensure_pool(algorithm)
         self._sync_version += 1
         with _untraced():
-            sync_blob = serialize_state(algorithm.worker_sync_state())
+            sync_blob = algorithm.encoded_sync_state()
+        preloaded = False
+        if self.broadcast:
+            preloaded = self._distribute_sync(pool, sync_blob)
+            if not preloaded:
+                pool = self._ensure_pool(algorithm)   # may have been closed
         tasks = [
             _ClientTask(client_id=client.client_id, round_idx=round_idx,
                         salt=salt, sync_version=self._sync_version,
-                        sync_blob=sync_blob,
+                        sync_blob=None if preloaded else sync_blob,
+                        bcast_token=algorithm._bcast_gen,
                         local_state_blob=pickle.dumps(client.local_state),
                         context_blob=pickle.dumps(
                             algorithm.client_context(client)),
@@ -331,7 +417,11 @@ class ProcessPoolRoundExecutor(RoundExecutor):
                 stats.record_failure(outcome.failure)
                 continue
             with _untraced():
-                updates.append(decode_update(outcome.update_blob))
+                # Aggregation only reads updates, so decode them as
+                # zero-copy views over the update blob (kept alive by the
+                # views' buffer references) instead of per-array copies.
+                updates.append(decode_update(outcome.update_blob,
+                                             copy=False))
             losses.append(outcome.train_loss)
         if broken:
             self.close()   # next collect rebuilds a healthy pool
@@ -343,10 +433,13 @@ class ProcessPoolRoundExecutor(RoundExecutor):
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
             self._pool_owner = None
+            self._barrier = None
 
 
-def make_executor(workers: int, mp_context: Any = None) -> RoundExecutor:
+def make_executor(workers: int, mp_context: Any = None,
+                  broadcast: bool = True) -> RoundExecutor:
     """Executor for ``workers`` processes: serial for <= 1, pooled above."""
     if workers <= 1:
         return SerialExecutor()
-    return ProcessPoolRoundExecutor(workers, mp_context=mp_context)
+    return ProcessPoolRoundExecutor(workers, mp_context=mp_context,
+                                    broadcast=broadcast)

@@ -1,0 +1,41 @@
+"""Reference (pre-vectorization) salient aggregation — the oracle.
+
+This is the original ``np.add.at`` scatter implementation of Eq. 12,
+kept verbatim so the vectorized fast path in
+:mod:`repro.core.aggregation` can be verified against it (the golden
+tests assert **bitwise** equality: the fast path uses ``np.bincount``,
+whose C accumulation loop adds weights in element order exactly like
+``np.add.at``, unlike ``np.add.reduceat``'s pairwise summation).  Do
+not optimise this module; its only job is to stay byte-for-byte
+faithful to the pre-PR numerics.  See DESIGN.md §11.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def reference_salient_aggregate(global_weight: np.ndarray,
+                                uploads: list[tuple[np.ndarray, np.ndarray]],
+                                step_size: float = 1.0) -> np.ndarray:
+    """Eq. 12 for one layer — original sequential-scatter implementation.
+
+    Semantics are documented on the production entry point,
+    :func:`repro.core.aggregation.salient_aggregate`.
+    """
+    out = np.array(global_weight, dtype=np.float64)
+    acc = np.zeros_like(out)
+    counts = np.zeros(out.shape[0], dtype=np.int64)
+    for indices, rows in uploads:
+        indices = np.asarray(indices, dtype=np.int64)
+        rows = np.asarray(rows)
+        if rows.shape[0] != len(indices):
+            raise ValueError("upload rows/indices mismatch")
+        if len(indices) and (indices.min() < 0 or indices.max() >= out.shape[0]):
+            raise IndexError("salient index out of range")
+        np.add.at(acc, indices, rows.astype(np.float64) - out[indices])
+        np.add.at(counts, indices, 1)
+    covered = counts > 0
+    denom = counts[covered].reshape((-1,) + (1,) * (out.ndim - 1))
+    out[covered] += step_size * acc[covered] / denom
+    return out.astype(global_weight.dtype)

@@ -1,0 +1,446 @@
+"""Fast transport layer: zero-copy wire codec and broadcast caching.
+
+SPATL's headline results are communication-cost reductions (Tables I &
+II, Eq. 13), which makes the wire path a first-class subsystem of this
+reproduction — and one that must cost CPU like a codec, not like the
+model.  This module is the hot-path core behind :mod:`repro.fl.comm`
+(DESIGN.md §11):
+
+- **zero-copy writer** — :func:`payload_nbytes` computes the exact wire
+  size up front, :func:`serialize_into` writes header and array bytes
+  straight into one preallocated buffer with ``struct.pack_into`` and
+  ``memoryview`` slice assignment (no per-entry ``b"".join`` copies);
+  :func:`serialize` wraps it over a fresh buffer, while
+  :func:`serialize_scratch` writes into a workspace-arena buffer
+  (:mod:`repro.tensor.workspace`) for encode-then-discard paths;
+- **zero-copy reader** — :func:`deserialize` with ``copy=False``
+  returns *read-only* ``np.frombuffer`` views over the payload instead
+  of per-entry copies, for decode-then-aggregate and validate-only
+  paths (the views keep the payload alive via the buffer protocol);
+- :class:`BroadcastCache` — per-round memoisation of the server's
+  client-invariant downlink encoding, keyed by a server-side round
+  token with a CRC32 content fingerprint backstop, so the identical
+  global state is framed once per round instead of once per client.
+  The :class:`~repro.fl.comm.CommLedger` still charges every client the
+  full downlink bytes — caching the *encoding* never changes the
+  *accounting* (the ledger-invariance rule, DESIGN.md §11);
+- :func:`codec_validate` — one traced serialize → validating-decode
+  pass through arena scratch, emitting the codec spans whose byte
+  totals the observability layer cross-checks against the ledger.
+
+Wire format (little-endian): ``[u32 n_entries]`` then per entry
+``[u16 name_len][name utf-8][u8 dtype_code][u8 ndim][u32 dims...]
+[raw array bytes]``, each entry optionally followed by ``[u32 crc32]``
+over the whole entry record.  The format is byte-identical to the
+original join-based codec; only the way the bytes are produced changed.
+Entry names above 65535 UTF-8 bytes and dimensions at or above ``2**32``
+cannot be represented in the headers and raise :class:`PayloadError`
+naming the entry instead of surfacing a raw ``struct.error``.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.obs.trace import get_tracer
+from repro.tensor import workspace
+
+
+class PayloadError(ValueError):
+    """A wire payload failed structural validation or checksum.
+
+    ``entry`` names the state-dict entry being decoded when the fault was
+    found (``None`` while reading the global header) and ``offset`` is the
+    byte offset at which decoding could not proceed.
+    """
+
+    def __init__(self, message: str, entry: str | None = None,
+                 offset: int | None = None):
+        detail = message
+        if entry is not None:
+            detail += f" (entry {entry!r})"
+        if offset is not None:
+            detail += f" (offset {offset})"
+        super().__init__(detail)
+        self.entry = entry
+        self.offset = offset
+
+
+_DTYPES = [np.dtype(np.float32), np.dtype(np.float64), np.dtype(np.int32),
+           np.dtype(np.int64), np.dtype(np.uint8), np.dtype(bool),
+           np.dtype(np.float16)]
+_DTYPE_CODE = {dt: i for i, dt in enumerate(_DTYPES)}
+
+# Header field capacities; exceeding them is a caller error surfaced as a
+# typed PayloadError naming the entry, never a raw struct.error.
+_MAX_NAME_BYTES = 0xFFFF          # u16 name length
+_MAX_DIM = 0xFFFF_FFFF            # u32 per-dimension extent
+_MAX_ENTRIES = 0xFFFF_FFFF        # u32 entry count
+
+
+def _check_name_and_shape(name: str, shape: tuple[int, ...]) -> bytes:
+    """Validate header-field capacities; return the encoded name."""
+    raw_name = name.encode("utf-8")
+    if len(raw_name) > _MAX_NAME_BYTES:
+        raise PayloadError(
+            f"entry name is {len(raw_name)} UTF-8 bytes, wire limit is "
+            f"{_MAX_NAME_BYTES}", entry=name)
+    for dim in shape:
+        if dim > _MAX_DIM:
+            raise PayloadError(
+                f"dimension {dim} exceeds the u32 wire limit {_MAX_DIM}",
+                entry=name)
+    return raw_name
+
+
+def _wire_array(name: str, value: Any) -> np.ndarray:
+    """Coerce one state entry to the exact array that goes on the wire."""
+    arr = np.ascontiguousarray(value)
+    if np.ndim(value) == 0:
+        # ascontiguousarray promotes 0-d to 1-d; undo it so the wire shape
+        # (and payload_nbytes) match the caller's array exactly
+        arr = arr.reshape(())
+    if arr.dtype not in _DTYPE_CODE:
+        raise TypeError(f"unsupported dtype {arr.dtype} for {name!r}")
+    return arr
+
+
+def payload_nbytes(state: dict[str, np.ndarray],
+                   checksums: bool = False) -> int:
+    """Exact wire size of a dense state dict (== len(serialize(state))).
+
+    Validates the same header-capacity limits as the writer, so a state
+    that sizes cleanly is guaranteed to serialize cleanly.
+    """
+    if len(state) > _MAX_ENTRIES:
+        raise PayloadError(f"too many entries ({len(state)}) for the u32 "
+                           "count header")
+    total = 4
+    per_entry = 4 if checksums else 0
+    for name, value in state.items():
+        arr = np.asarray(value)
+        raw_name = _check_name_and_shape(name, arr.shape)
+        total += 2 + len(raw_name) + 2 + 4 * arr.ndim + arr.nbytes + per_entry
+    return total
+
+
+def sparse_payload_nbytes(selected: dict[str, tuple[np.ndarray, np.ndarray]]) -> int:
+    """Wire size of a salient payload: {layer: (int filter indices, values)}.
+
+    Indices travel as int32 (one per selected filter); values as their own
+    dtype.  Each layer contributes two entries (``<name>.idx``,
+    ``<name>.val``) and the total equals ``payload_nbytes`` of the
+    equivalent ``.idx``/``.val`` state dict exactly.
+    """
+    total = 4
+    for name, (indices, values) in selected.items():
+        indices = np.asarray(indices)
+        values = np.asarray(values)
+        _check_name_and_shape(name + ".idx", (indices.size,))
+        _check_name_and_shape(name + ".val", values.shape)
+        total += 2 + len((name + ".idx").encode("utf-8")) + 2 + 4 \
+            + 4 * indices.size
+        total += 2 + len((name + ".val").encode("utf-8")) + 2 \
+            + 4 * values.ndim + values.nbytes
+    return total
+
+
+def serialize_into(state: dict[str, np.ndarray], out: Any,
+                   checksums: bool = False) -> int:
+    """Serialize ``state`` into the writable buffer ``out``; return the
+    byte count written.
+
+    ``out`` must expose a writable C-contiguous buffer (``bytearray``,
+    ``memoryview``, uint8 ``ndarray``) of at least
+    :func:`payload_nbytes` bytes.  Entries are written in dict order —
+    headers via ``struct.pack_into``, array data via ``memoryview`` slice
+    assignment directly from each array's own buffer — so the only data
+    copy is the single write into ``out``.
+    """
+    mv = memoryview(out)
+    if mv.format != "B":
+        mv = mv.cast("B")
+    if len(state) > _MAX_ENTRIES:
+        raise PayloadError(f"too many entries ({len(state)}) for the u32 "
+                           "count header")
+    struct.pack_into("<I", mv, 0, len(state))
+    off = 4
+    for name, value in state.items():
+        arr = _wire_array(name, value)
+        raw_name = _check_name_and_shape(name, arr.shape)
+        start = off
+        struct.pack_into("<H", mv, off, len(raw_name))
+        off += 2
+        mv[off:off + len(raw_name)] = raw_name
+        off += len(raw_name)
+        struct.pack_into("<BB", mv, off, _DTYPE_CODE[arr.dtype], arr.ndim)
+        off += 2
+        if arr.ndim:
+            struct.pack_into(f"<{arr.ndim}I", mv, off, *arr.shape)
+            off += 4 * arr.ndim
+        if arr.nbytes:
+            mv[off:off + arr.nbytes] = memoryview(arr).cast("B")
+            off += arr.nbytes
+        if checksums:
+            struct.pack_into("<I", mv, off, zlib.crc32(mv[start:off]))
+            off += 4
+    return off
+
+
+def serialize(state: dict[str, np.ndarray], checksums: bool = False) -> bytes:
+    """Encode a flat state dict to bytes through the single-buffer writer.
+
+    Producing an *immutable* blob costs one fresh allocation plus one
+    copy no matter what, so the write is staged through a persistent
+    arena buffer (warm pages, no zero-fill) and copied out once —
+    large-state encodes are then bound by that single copy.  Paths that
+    can consume a transient view should use :func:`serialize_scratch`
+    and skip the copy entirely.
+    """
+    n = payload_nbytes(state, checksums=checksums)
+    cap = 1 << max(6, (n - 1).bit_length())
+    slot = workspace.slot_for(_SCRATCH_OWNER)
+    # distinct tag from serialize_scratch: materialising a blob must not
+    # invalidate a scratch view a caller is still consuming
+    buf = slot.buffer("wire.encode", (cap,), np.uint8)
+    serialize_into(state, buf, checksums=checksums)
+    return bytes(memoryview(buf)[:n])
+
+
+# Arena owner for module-level scratch serialization; kept alive by the
+# module so its WorkspaceSlot (and buffers) persist for the process.
+_SCRATCH_OWNER = type("WireScratch", (), {})()
+
+
+def serialize_scratch(state: dict[str, np.ndarray], checksums: bool = False,
+                      owner: Any = None) -> memoryview:
+    """Serialize into a workspace-arena buffer; return a sized memoryview.
+
+    The returned view is **transient scratch**: it stays valid only until
+    the owner's next ``serialize_scratch`` call of a similar size, so it
+    is for encode-then-consume-then-discard paths (traced codec
+    validation, benchmarks) — never for blobs that outlive the call.
+    Buffer capacities are bucketed to powers of two so payloads whose
+    sizes drift round-to-round (salient selections) reuse a bounded set
+    of arena buffers instead of growing one per distinct size.
+    """
+    n = payload_nbytes(state, checksums=checksums)
+    cap = 1 << max(6, (n - 1).bit_length())
+    slot = workspace.slot_for(owner if owner is not None else _SCRATCH_OWNER)
+    buf = slot.buffer("wire.scratch", (cap,), np.uint8)
+    serialize_into(state, buf, checksums=checksums)
+    return memoryview(buf)[:n]
+
+
+def deserialize(payload: Any, checksums: bool = False,
+                copy: bool = True) -> dict[str, np.ndarray]:
+    """Decode bytes produced by :func:`serialize` (any buffer object).
+
+    Every offset is validated against the payload length before it is
+    read, so truncated or bit-flipped payloads raise
+    :class:`PayloadError` naming the entry and offset instead of a bare
+    ``struct.error`` or a silent mis-slice; duplicate entry names are
+    rejected too.  With ``checksums=True`` each entry's CRC32 is
+    verified.
+
+    ``copy=False`` returns **read-only** ``np.frombuffer`` views over
+    ``payload`` instead of fresh arrays: zero data copies, with the
+    payload kept alive by the views' buffer references.  Use it for
+    decode-then-read paths (validation, aggregation inputs); callers
+    that need to mutate the result must use ``copy=True`` (the default,
+    byte-identical to the original decoder).
+    """
+    mv = memoryview(payload)
+    if mv.format != "B":
+        mv = mv.cast("B")
+    total = mv.nbytes
+    out: dict[str, np.ndarray] = {}
+    off = 0
+
+    def need(n: int, what: str, entry: str | None) -> None:
+        if off + n > total:
+            raise PayloadError(
+                f"truncated payload: need {n} byte(s) for {what}, "
+                f"have {total - off}", entry=entry, offset=off)
+
+    need(4, "entry count", None)
+    (n_entries,) = struct.unpack_from("<I", mv, off)
+    off += 4
+    for i in range(n_entries):
+        entry_label = f"#{i}"
+        record_start = off
+        need(2, "name length", entry_label)
+        (name_len,) = struct.unpack_from("<H", mv, off)
+        off += 2
+        need(name_len, "entry name", entry_label)
+        try:
+            name = bytes(mv[off:off + name_len]).decode("utf-8")
+        except UnicodeDecodeError as err:
+            raise PayloadError(f"undecodable entry name: {err}",
+                               entry=entry_label, offset=off) from err
+        off += name_len
+        if name in out:
+            raise PayloadError("duplicate entry name", entry=name,
+                               offset=record_start)
+        need(2, "dtype/ndim header", name)
+        code, ndim = struct.unpack_from("<BB", mv, off)
+        off += 2
+        if code >= len(_DTYPES):
+            raise PayloadError(f"unknown dtype code {code}", entry=name,
+                               offset=off - 2)
+        if ndim > 32:  # numpy's own dimensionality ceiling
+            raise PayloadError(f"implausible ndim {ndim}", entry=name,
+                               offset=off - 1)
+        need(4 * ndim, "shape", name)
+        shape = struct.unpack_from(f"<{ndim}I", mv, off)
+        off += 4 * ndim
+        dtype = _DTYPES[code]
+        n_items = 1
+        for dim in shape:
+            n_items *= int(dim)
+        nbytes = dtype.itemsize * n_items
+        need(nbytes, f"array data ({nbytes} bytes)", name)
+        arr = np.frombuffer(mv, dtype=dtype, count=n_items,
+                            offset=off).reshape(shape)
+        off += nbytes
+        if checksums:
+            need(4, "entry checksum", name)
+            (stored,) = struct.unpack_from("<I", mv, off)
+            computed = zlib.crc32(mv[record_start:off])
+            off += 4
+            if stored != computed:
+                raise PayloadError(
+                    f"checksum mismatch: stored {stored:#010x}, "
+                    f"computed {computed:#010x}", entry=name,
+                    offset=off - 4)
+        if copy:
+            arr = arr.copy()
+        elif arr.flags.writeable:
+            arr.flags.writeable = False
+        out[name] = arr
+    if off != total:
+        raise PayloadError(
+            f"{total - off} trailing byte(s) after final entry",
+            offset=off)
+    return out
+
+
+def state_fingerprint(state: dict[str, np.ndarray]) -> int:
+    """CRC32 content fingerprint over names, headers, and raw bytes.
+
+    One allocation-free C pass per array — cheap relative to encoding,
+    and exactly what :class:`BroadcastCache` needs to recognise that a
+    state's content did not change across round tokens (e.g. after a
+    skipped round)."""
+    crc = 0
+    for name, value in state.items():
+        arr = _wire_array(name, value)
+        crc = zlib.crc32(name.encode("utf-8"), crc)
+        crc = zlib.crc32(repr((arr.dtype.str, arr.shape)).encode(), crc)
+        if arr.nbytes:
+            crc = zlib.crc32(memoryview(arr).cast("B"), crc)
+    return crc
+
+
+@dataclass
+class _CacheEntry:
+    token: Any
+    fingerprint: int
+    blob: bytes
+    entries: int
+
+
+class BroadcastCache:
+    """Per-round memoisation of client-invariant broadcast encodings.
+
+    The server's downlink payload (and the parallel engine's worker sync
+    state) is identical for every client of a round, yet the original
+    pipeline re-framed it once per client.  ``encode`` caches the wire
+    blob per ``channel`` under a server-supplied round ``token`` — the
+    server bumps its token exactly when global state may have mutated
+    (once per ``run_round``) — with a CRC32 content fingerprint as the
+    cross-token key, so byte-identical states are recognised even after
+    the token moves (content keying).
+
+    Contract: a channel must carry **client-invariant** content within
+    one token (true for every built-in algorithm's downlink and sync
+    states — they depend only on server state).  Per-client payloads
+    (uploads) must not go through the cache.
+
+    Ledger invariance: the cache changes who pays the CPU for framing,
+    never who pays the bytes — callers keep charging every client the
+    full blob length.  When tracing is on, every ``encode`` emits a
+    ``serialize`` span carrying the full byte count plus a ``cached``
+    attribute, so traced codec byte totals still equal the ledger's.
+
+    Instances are picklable but ship cold (the cached blob is dropped),
+    so worker replicas re-encode once rather than inflating task pickles.
+    """
+
+    def __init__(self):
+        self._entries: dict[tuple[str, bool], _CacheEntry] = {}
+        self.hits = 0           # token matched: no hash, no encode
+        self.content_hits = 0   # token moved but fingerprint matched
+        self.misses = 0         # fresh encode
+
+    def __getstate__(self):
+        return True  # replicas start cold
+
+    def __setstate__(self, _state):
+        self.__init__()
+
+    def encode(self, state: dict[str, np.ndarray], *, token: Any,
+               channel: str = "down", checksums: bool = False) -> bytes:
+        """The wire blob for ``state``, encoded at most once per content."""
+        key = (channel, checksums)
+        entry = self._entries.get(key)
+        cached = True
+        if entry is not None and entry.token == token \
+                and entry.entries == len(state):
+            self.hits += 1
+            blob = entry.blob
+        else:
+            fingerprint = state_fingerprint(state)
+            if entry is not None and entry.fingerprint == fingerprint:
+                self.content_hits += 1
+                entry.token = token
+                blob = entry.blob
+            else:
+                self.misses += 1
+                cached = False
+                blob = serialize(state, checksums=checksums)
+                self._entries[key] = _CacheEntry(token=token,
+                                                 fingerprint=fingerprint,
+                                                 blob=blob,
+                                                 entries=len(state))
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span("serialize", checksums=checksums) as span:
+                span.set(bytes=len(blob), entries=len(state), cached=cached)
+        return blob
+
+
+def codec_validate(state: dict[str, np.ndarray], checksums: bool = False,
+                   owner: Any = None) -> int:
+    """One traced pass through the codec; returns the wire byte count.
+
+    Serializes into arena scratch and runs the validating zero-copy
+    decoder, discarding the result: traced runs get ``serialize`` /
+    ``deserialize`` spans whose byte totals equal the ledger's (the
+    DESIGN.md §8 cross-check) at memcpy cost instead of
+    allocate-and-copy cost.
+    """
+    tracer = get_tracer()
+    with tracer.span("serialize", checksums=checksums) as span:
+        blob = serialize_scratch(state, checksums=checksums, owner=owner)
+        span.set(bytes=len(blob), entries=len(state), scratch=True)
+    with tracer.span("deserialize", checksums=checksums,
+                     bytes=len(blob), zero_copy=True) as span:
+        out = deserialize(blob, checksums=checksums, copy=False)
+        span.set(entries=len(out))
+    return len(blob)

@@ -6,6 +6,19 @@ Spans nest: a :class:`Tracer` keeps a stack so each finished span knows
 its depth and parent, which is enough to reconstruct the round timeline
 and to render a flame-graph view in ``chrome://tracing`` / Perfetto.
 
+Codec spans (``serialize`` / ``deserialize``) carry a small attribute
+taxonomy the reports rely on: ``bytes`` is always the exact wire size
+(summing it per direction equals the ``CommLedger`` totals, see
+DESIGN.md §8) and ``entries`` the state-dict entry count.  Since the
+fast transport layer (DESIGN.md §11) three markers describe *how* the
+bytes were produced without ever changing the byte counts:
+``cached=True`` on serialize spans served from the per-round
+:class:`~repro.fl.wire.BroadcastCache` (the full blob length is still
+reported — the simulated network sent it, only the CPU encode was
+skipped), ``scratch=True`` on serializes into the workspace arena, and
+``zero_copy=True`` on deserializes that returned read-only views
+instead of copies.
+
 The process-global default tracer is a :class:`NullTracer` whose
 ``span()`` returns one shared no-op span — instrumented call sites cost a
 method call and an empty ``with`` block when tracing is off, keeping the

@@ -179,6 +179,80 @@ class TestSalientAggregate:
         assert coverage_fraction(4, uploads) == pytest.approx(0.75)
 
 
+class TestAggregationOracle:
+    """The vectorized Eq. 12 must match the pre-PR scatter **bitwise**
+    (DESIGN.md §11.3): golden-state byte identity across the repo rests
+    on aggregation producing the exact same floats, not allclose ones."""
+
+    SHAPES = [(16, 3, 3, 3),    # conv weight: wide rows, fancy-add path
+              (32, 16),         # fc weight
+              (12,),            # bias: narrow rows, np.add.at path
+              (7, 1)]           # single-column edge
+
+    @staticmethod
+    def _random_uploads(rng, n_filters, tail, n_clients, duplicates):
+        uploads = []
+        for _ in range(n_clients):
+            k = int(rng.integers(0, n_filters + 1))
+            if duplicates and k:
+                idx = rng.integers(0, n_filters, size=k)       # may repeat
+            else:
+                idx = rng.choice(n_filters, size=k, replace=False)
+            rows = rng.normal(size=(k,) + tail).astype(np.float32)
+            uploads.append((np.sort(idx), rows))
+        return uploads
+
+    @pytest.mark.parametrize("duplicates", [False, True],
+                             ids=["unique", "duplicate-indices"])
+    def test_bitwise_equal_to_reference(self, duplicates):
+        from repro.fl.reference_agg import reference_salient_aggregate
+        rng = np.random.default_rng(42 + duplicates)
+        for shape in self.SHAPES:
+            for trial in range(25):
+                g = rng.normal(size=shape).astype(np.float32)
+                uploads = self._random_uploads(rng, shape[0], shape[1:],
+                                               int(rng.integers(1, 6)),
+                                               duplicates)
+                step = float(rng.choice([1.0, 0.5, 0.1]))
+                fast = salient_aggregate(g, uploads, step_size=step)
+                ref = reference_salient_aggregate(g, uploads, step_size=step)
+                assert fast.tobytes() == ref.tobytes(), \
+                    f"shape={shape} trial={trial} step={step}"
+                assert fast.dtype == ref.dtype == g.dtype
+
+    def test_bitwise_equal_in_float64(self):
+        from repro.fl.reference_agg import reference_salient_aggregate
+        rng = np.random.default_rng(7)
+        g = rng.normal(size=(8, 4))
+        uploads = self._random_uploads(rng, 8, (4,), 3, False)
+        assert salient_aggregate(g, uploads).tobytes() \
+            == reference_salient_aggregate(g, uploads).tobytes()
+
+    def test_empty_uploads_bitwise(self):
+        from repro.fl.reference_agg import reference_salient_aggregate
+        g = np.random.default_rng(1).normal(size=(5, 2)).astype(np.float32)
+        assert salient_aggregate(g, []).tobytes() \
+            == reference_salient_aggregate(g, []).tobytes()
+        assert salient_aggregate(
+            g, [(np.zeros(0, dtype=np.int64),
+                 np.zeros((0, 2), dtype=np.float32))]).tobytes() \
+            == g.astype(np.float64).astype(np.float32).tobytes()
+
+    def test_reference_rejects_same_errors(self):
+        from repro.fl.reference_agg import reference_salient_aggregate
+        g = np.zeros((4, 2), dtype=np.float32)
+        for agg in (salient_aggregate, reference_salient_aggregate):
+            with pytest.raises(ValueError):
+                agg(g, [(np.asarray([0, 1]),
+                         np.ones((3, 2), dtype=np.float32))])
+            with pytest.raises(IndexError):
+                agg(g, [(np.asarray([-1]),
+                         np.ones((1, 2), dtype=np.float32))])
+            with pytest.raises(IndexError):
+                agg(g, [(np.asarray([4]),
+                         np.ones((1, 2), dtype=np.float32))])
+
+
 class TestSelectionPolicies:
     def _model(self):
         return build_model("resnet20", input_size=12, width_mult=0.25, seed=0)
