@@ -19,15 +19,17 @@ import json
 import sys
 
 from repro.experiments import (ablation_gradient_control, ablation_selection,
-                               ablation_transfer, config_for,
-                               fault_degradation_curve,
+                               ablation_transfer, async_convergence,
+                               config_for, fault_degradation_curve,
                                inference_acceleration_table,
                                learning_efficiency_curves,
                                local_accuracy_figure,
                                pruning_comparison_table, render_fault_table,
                                rl_finetune_figure,
-                               rounds_to_target_figure, table1_target_cost,
-                               table2_convergence, transferability_table)
+                               render_async_table, rounds_to_target_figure,
+                               table1_target_cost, table2_convergence,
+                               transferability_table)
+from repro.fl import AsyncConfig, AsyncFederatedRunner, AsyncProfile
 from repro.experiments.communication import render_cost_table
 from repro.experiments.configs import make_algorithm, make_setting
 from repro.experiments.inference import render_inference_table
@@ -148,6 +150,40 @@ def cmd_rl_finetune(args) -> None:
           [round(r, 3) for r in result["finetune_rewards"]])
 
 
+def _async_profile(args) -> AsyncProfile:
+    """Build the seeded latency/availability profile from CLI flags."""
+    return AsyncProfile(
+        mean_latency=args.async_latency, jitter=args.async_jitter,
+        straggler_prob=args.async_straggler, slowdown=args.async_slowdown,
+        arrival_spread=args.async_spread, churn_prob=args.async_churn,
+        crash_prob=args.async_crash, duplicate_prob=args.async_duplicate,
+        seed=args.async_seed if args.async_seed is not None else args.seed)
+
+
+def _async_config(args, n_clients: int) -> AsyncConfig:
+    """Build the async server config from CLI flags (cohort-sized caps)."""
+    return AsyncConfig(
+        buffer_k=(args.buffer_k if args.buffer_k is not None
+                  else max(2, n_clients // 4)),
+        staleness_alpha=args.staleness_alpha,
+        max_inflight=(args.max_inflight if args.max_inflight is not None
+                      else n_clients),
+        max_queue=args.max_queue if args.max_queue is not None else n_clients,
+        commit_deadline=args.commit_deadline)
+
+
+def cmd_async_convergence(args) -> None:
+    """Sync vs async convergence against virtual wall-time (DESIGN.md §12)."""
+    cfg = _cfg(args)
+    result = async_convergence(
+        cfg, algorithm=args.algorithm, profile=_async_profile(args),
+        async_config=_async_config(args, cfg.n_clients),
+        max_steps=args.async_steps)
+    print(render_async_table(result))
+    print("async summary:",
+          json.dumps(result["async"]["summary"], indent=2))
+
+
 def cmd_profile(args) -> None:
     """Trace + profile a few rounds; print timeline and hotspot tables."""
     cfg = _cfg(args, rounds=args.rounds or 2)
@@ -162,7 +198,13 @@ def cmd_profile(args) -> None:
     try:
         model_fn, clients = make_setting(cfg)
         algo = make_algorithm(args.algorithm, cfg, model_fn, clients)
-        algo.run(cfg.rounds)
+        if args.use_async:
+            runner = AsyncFederatedRunner(algo, _async_profile(args),
+                                          _async_config(args, cfg.n_clients))
+            runner.run(steps=args.async_steps or cfg.rounds)
+            runner.finalize()
+        else:
+            algo.run(cfg.rounds)
     finally:
         if algo is not None:
             algo.close()
@@ -225,6 +267,7 @@ COMMANDS = {
     "ablation-gradctl": cmd_ablation_gradctl,
     "rl-finetune": cmd_rl_finetune,
     "fault-tolerance": cmd_fault_tolerance,
+    "async-convergence": cmd_async_convergence,
     "profile": cmd_profile,
 }
 
@@ -272,6 +315,49 @@ def build_parser() -> argparse.ArgumentParser:
                         help="quorum: min surviving updates to commit a round")
     faults.add_argument("--fault-rates", type=float, nargs="+", default=None,
                         help="drop rates swept by the fault-tolerance command")
+    asyn = parser.add_argument_group(
+        "asynchronous runtime",
+        "Event-driven buffered-aggregation server on a deterministic "
+        "virtual clock (DESIGN.md §12); used by the async-convergence "
+        "command and by profile when --async is given.")
+    asyn.add_argument("--async", dest="use_async", action="store_true",
+                      help="profile the async runtime instead of the "
+                           "synchronous round loop")
+    asyn.add_argument("--buffer-k", type=int, default=None,
+                      help="updates buffered before a commit (default "
+                           "cohort/4; == cohort reproduces sync bitwise)")
+    asyn.add_argument("--staleness-alpha", type=float, default=0.5,
+                      help="staleness discount exponent in 1/(1+s)^alpha")
+    asyn.add_argument("--max-inflight", type=int, default=None,
+                      help="admission control: max concurrent client jobs "
+                           "(default: cohort size)")
+    asyn.add_argument("--max-queue", type=int, default=None,
+                      help="arrivals parked beyond max-inflight before "
+                           "rejection (default: cohort size)")
+    asyn.add_argument("--commit-deadline", type=float, default=None,
+                      help="virtual time from first buffered update to a "
+                           "forced commit (off by default)")
+    asyn.add_argument("--async-steps", type=int, default=None,
+                      help="server commits to run (default: matches the "
+                           "sync run's update count)")
+    asyn.add_argument("--async-latency", type=float, default=1.0,
+                      help="mean virtual seconds per local epoch")
+    asyn.add_argument("--async-jitter", type=float, default=0.2,
+                      help="+/- uniform fraction on each job duration")
+    asyn.add_argument("--async-straggler", type=float, default=0.3,
+                      help="per-job straggler probability")
+    asyn.add_argument("--async-slowdown", type=float, default=6.0,
+                      help="max straggler slowdown factor")
+    asyn.add_argument("--async-spread", type=float, default=0.5,
+                      help="first arrivals spread uniformly in [0, spread]")
+    asyn.add_argument("--async-churn", type=float, default=0.0,
+                      help="per-upload churn probability (client leaves)")
+    asyn.add_argument("--async-crash", type=float, default=0.0,
+                      help="per-job mid-flight crash probability")
+    asyn.add_argument("--async-duplicate", type=float, default=0.0,
+                      help="per-upload duplicate-delivery probability")
+    asyn.add_argument("--async-seed", type=int, default=None,
+                      help="async profile RNG seed (defaults to --seed)")
     obs = parser.add_argument_group(
         "observability",
         "Tracing/metrics capture (repro.obs); off by default — the no-op "

@@ -30,7 +30,8 @@ import numpy as np
 
 def salient_aggregate(global_weight: np.ndarray,
                       uploads: list[tuple[np.ndarray, np.ndarray]],
-                      step_size: float = 1.0) -> np.ndarray:
+                      step_size: float = 1.0,
+                      weights: list[float] | None = None) -> np.ndarray:
     """Eq. 12 for one layer.
 
     Parameters
@@ -43,11 +44,22 @@ def salient_aggregate(global_weight: np.ndarray,
     step_size:
         The update step ``eta`` of Eq. 12 (1.0 = move fully to the mean of
         covering clients, the FedAvg-consistent choice).
+    weights:
+        Optional per-upload multiplicative weights (the async runtime's
+        staleness discounts, DESIGN.md §12).  The covered-coordinate mean
+        becomes a weighted mean: each covering client contributes
+        ``w_i * (W_i[idx] - W_global[idx])`` and the denominator is the
+        sum of covering weights.  ``None`` keeps the exact unweighted
+        reduction (equal weights give the same *math* but travel a
+        separate code path; only ``weights=None`` is guaranteed bitwise
+        against the oracle).
 
     Returns the updated dense tensor.  Rows no client selected are
-    untouched.  Bitwise-identical to
+    untouched.  With ``weights=None``, bitwise-identical to
     :func:`repro.fl.reference_agg.reference_salient_aggregate`.
     """
+    if weights is not None and len(weights) != len(uploads):
+        raise ValueError("uploads/weights length mismatch")
     out = np.array(global_weight, dtype=np.float64)
     n_filters = out.shape[0]
     acc = np.zeros_like(out)
@@ -58,7 +70,8 @@ def salient_aggregate(global_weight: np.ndarray,
     for dim in out.shape[1:]:
         row_width *= int(dim)
     idx_parts: list[np.ndarray] = []
-    for indices, rows in uploads:
+    w_parts: list[np.ndarray] = []
+    for upload_i, (indices, rows) in enumerate(uploads):
         indices = np.asarray(indices, dtype=np.int64)
         rows = np.asarray(rows)
         if rows.shape[0] != len(indices):
@@ -67,6 +80,10 @@ def salient_aggregate(global_weight: np.ndarray,
             raise IndexError("salient index out of range")
         idx_parts.append(indices.ravel())
         diff = rows.astype(np.float64) - out[indices]
+        if weights is not None:
+            w = float(weights[upload_i])
+            diff = w * diff
+            w_parts.append(np.full(indices.size, w, dtype=np.float64))
         if row_width >= 8 and indices.size == np.unique(indices).size:
             # Unique indices: the fancy add sums the identical terms in
             # the identical order as np.add.at, minus its buffered
@@ -77,7 +94,12 @@ def salient_aggregate(global_weight: np.ndarray,
     if not idx_parts:
         return out.astype(global_weight.dtype)
 
-    counts = np.bincount(np.concatenate(idx_parts), minlength=n_filters)
+    concat_idx = np.concatenate(idx_parts)
+    if weights is None:
+        counts = np.bincount(concat_idx, minlength=n_filters)
+    else:
+        counts = np.bincount(concat_idx, weights=np.concatenate(w_parts),
+                             minlength=n_filters)
     covered = counts > 0
     denom = counts[covered].reshape((-1,) + (1,) * (out.ndim - 1))
     out[covered] += step_size * acc[covered] / denom

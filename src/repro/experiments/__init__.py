@@ -11,6 +11,8 @@ from repro.experiments.configs import (ExperimentConfig, SCALES, config_for,
                                        make_fault_model)
 from repro.experiments.fault_tolerance import (fault_degradation_curve,
                                                render_fault_table)
+from repro.experiments.async_convergence import (async_convergence,
+                                                 render_async_table)
 from repro.experiments.harness import run_algorithms, compare_table
 from repro.experiments.learning_efficiency import learning_efficiency_curves
 from repro.experiments.communication import (table1_target_cost,
@@ -27,6 +29,7 @@ from repro.experiments.rl_finetune import rl_finetune_figure
 __all__ = [
     "ExperimentConfig", "SCALES", "config_for", "make_setting", "make_algorithm",
     "make_fault_model", "fault_degradation_curve", "render_fault_table",
+    "async_convergence", "render_async_table",
     "run_algorithms", "compare_table",
     "learning_efficiency_curves",
     "table1_target_cost", "table2_convergence", "rounds_to_target_figure",

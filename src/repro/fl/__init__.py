@@ -25,7 +25,12 @@ algorithm rides on:
   processes with byte-identical results (DESIGN.md §9; CLI ``--workers``);
 - :mod:`repro.fl.faults` / :mod:`repro.fl.resilience` — seeded fault
   injection and the retry/quorum recovery machinery (DESIGN.md §7);
-- :mod:`repro.fl.checkpoint` — bit-exact run checkpoint/resume;
+- :mod:`repro.fl.async_runtime` — event-driven asynchronous server on a
+  deterministic virtual clock: buffered (FedBuff-style) commits,
+  staleness-discounted aggregation, and admission control
+  (DESIGN.md §12; CLI ``--async``);
+- :mod:`repro.fl.checkpoint` — bit-exact run checkpoint/resume, for both
+  the synchronous loop and mid-flight async runs;
 - :mod:`repro.fl.topk` — top-k delta sparsification with error feedback,
   a generic-compression comparator for SPATL's structured selection.
 """
@@ -38,7 +43,10 @@ from repro.fl.wire import BroadcastCache, codec_validate, state_fingerprint
 from repro.fl.resilience import (ClientCrashed, ClientDropped, ClientFailure,
                                  FaultStats, RetryPolicy, StragglerTimeout,
                                  TransferCorrupted, WorkerCrashed)
-from repro.fl.faults import FaultModel, FaultyTransport
+from repro.fl.faults import AsyncProfile, FaultModel, FaultyTransport
+from repro.fl.async_runtime import (AsyncConfig, AsyncFederatedRunner,
+                                    StepResult, VirtualClock,
+                                    staleness_weight)
 from repro.fl.client import Client, make_federated_clients
 from repro.fl.parallel import (ProcessPoolRoundExecutor, RoundExecutor,
                                SerialExecutor, make_executor)
@@ -69,4 +77,6 @@ __all__ = [
     "RoundExecutor", "SerialExecutor", "ProcessPoolRoundExecutor",
     "make_executor",
     "BroadcastCache", "codec_validate", "state_fingerprint",
+    "AsyncProfile", "AsyncConfig", "AsyncFederatedRunner", "StepResult",
+    "VirtualClock", "staleness_weight",
 ]

@@ -171,6 +171,36 @@ class FederatedAlgorithm:
     def aggregate(self, updates: list[Any], round_idx: int) -> None:
         raise NotImplementedError
 
+    def aggregate_weighted(self, updates: list[Any],
+                           weights: Sequence[float], round_idx: int) -> None:
+        """Fold updates with per-update multiplicative weights (async path).
+
+        The asynchronous runtime discounts stale updates by
+        ``1/(1+staleness)^alpha`` (DESIGN.md §12).  When every weight is
+        exactly 1.0 this delegates to :meth:`aggregate` — bitwise the
+        synchronous path, which is what makes ``buffer_k == cohort size``
+        async runs reproduce sync runs exactly.  The default otherwise
+        scales each dict update's example count ``"n"`` by its weight, so
+        any algorithm whose aggregation is an ``"n"``-weighted mean
+        (FedAvg, FedProx, FedNova, FedTopK) discounts stale clients'
+        shares; algorithms with richer aggregation geometry (SPATL's
+        salient/index-wise path) override this.
+        """
+        if len(updates) != len(weights):
+            raise ValueError("updates/weights length mismatch")
+        if all(w == 1.0 for w in weights):
+            self.aggregate(updates, round_idx)
+            return
+        scaled = []
+        for update, w in zip(updates, weights):
+            if w <= 0.0:
+                raise ValueError(f"aggregation weight must be > 0, got {w}")
+            if isinstance(update, dict) and "n" in update:
+                update = dict(update)
+                update["n"] = update["n"] * w
+            scaled.append(update)
+        self.aggregate(scaled, round_idx)
+
     def client_eval_model(self, client: Client):
         """Model used to evaluate ``client`` (global by default)."""
         return self.global_model
@@ -291,6 +321,12 @@ class FederatedAlgorithm:
                     break
                 salt += 1
                 stats.n_resamples += 1
+            # Drop accounting is finalized once per round: a client that
+            # failed in one cohort iteration but delivered after a re-sample
+            # is withdrawn, and re-drops of the same client collapse to one
+            # — RoundResult.n_dropped counts distinct clients that never
+            # delivered, not failure events (those are the attempt counters).
+            stats.finalize_drops()
             committed = len(updates) >= quorum
             if committed:
                 with tracer.span("aggregate", round=round_idx,

@@ -7,6 +7,14 @@ ledger, per-client persistent state (control variates, private predictors
 — RL agent policies included, since they are plain state dicts), and the
 server-side control variate where the algorithm has one.
 
+The asynchronous runtime (DESIGN.md §12) extends the same format:
+``save_async_checkpoint`` additionally captures the virtual clock (time,
+schedule counter, and the pending event heap), the in-flight job set with
+each undelivered update (losslessly re-encoded through the wire-layer
+pytree codec), the commit buffer, the admission queue, the dedup
+fingerprint registry, and the runner's counters — so a run interrupted
+*mid-buffer* resumes to a bit-identical trajectory.
+
 The format is a single ``.npz`` (arrays) plus a JSON manifest entry inside
 it, so checkpoints need no pickling of code objects and stay loadable
 across library versions.
@@ -15,12 +23,16 @@ across library versions.
 from __future__ import annotations
 
 import json
+from dataclasses import asdict
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.gradient_control import ControlVariate
+from repro.fl.async_runtime import (AsyncFederatedRunner, StepResult,
+                                    VirtualClock, _Job)
 from repro.fl.base import FederatedAlgorithm
+from repro.fl.comm import decode_update, encode_update
 from repro.fl.resilience import FaultStats
 
 
@@ -29,10 +41,15 @@ def _flatten(prefix: str, state: dict, out: dict[str, np.ndarray]) -> None:
         out[f"{prefix}{key}"] = np.asarray(value)
 
 
-def save_checkpoint(algo: FederatedAlgorithm, path: str | Path) -> None:
-    """Serialise a run's full state to ``path`` (.npz)."""
-    path = Path(path)
-    arrays: dict[str, np.ndarray] = {}
+# --------------------------------------------------------------------------
+# Shared collect/apply: the algorithm-owned state (model, variates, clients,
+# fault stats, ledger) is identical between the sync and async formats.
+# --------------------------------------------------------------------------
+
+def _collect_algo(algo: FederatedAlgorithm,
+                  arrays: dict[str, np.ndarray]) -> dict:
+    """Flatten the algorithm's resumable state into ``arrays``; return the
+    manifest fragment describing it."""
     manifest: dict = {
         "algorithm": algo.name,
         "rounds_completed": algo.rounds_completed,
@@ -60,16 +77,71 @@ def save_checkpoint(algo: FederatedAlgorithm, path: str | Path) -> None:
     # cumulative fault-tolerance counters (resumed runs keep reporting the
     # drops/retries/corruptions that happened before the crash)
     manifest["fault_stats"] = algo.fault_stats.as_dict()
-    # ledger
     manifest["ledger"] = {
         "uplink": {str(r): {str(c): n for c, n in d.items()}
                    for r, d in algo.ledger.uplink.items()},
         "downlink": {str(r): {str(c): n for c, n in d.items()}
                      for r, d in algo.ledger.downlink.items()},
     }
+    return manifest
+
+
+def _apply_algo(algo: FederatedAlgorithm, data, manifest: dict) -> None:
+    """Restore the algorithm-owned state collected by :func:`_collect_algo`."""
+    if manifest["n_clients"] != len(algo.clients):
+        raise ValueError(
+            f"checkpoint has {manifest['n_clients']} clients, "
+            f"algorithm has {len(algo.clients)}")
+    prefixes = sorted(data.files)
+
+    def collect(prefix: str) -> dict[str, np.ndarray]:
+        plen = len(prefix)
+        return {k[plen:]: data[k] for k in prefixes if k.startswith(prefix)}
+
+    algo.global_model.load_state_dict(collect("global."))
+    if manifest.get("has_c_global"):
+        values = collect("c_global.")
+        if manifest.get("c_global_is_variate"):
+            cv = ControlVariate({})
+            cv.values = values
+            algo.c_global = cv
+        else:
+            algo.c_global = values
+    for client in algo.clients:
+        keys = manifest["client_state_keys"].get(str(client.client_id), [])
+        client.local_state.clear()
+        for key, kind in keys:
+            payload = collect(f"client.{client.client_id}.{key}.")
+            if kind == "variate":
+                cv = ControlVariate({})
+                cv.values = payload
+                client.local_state[key] = cv
+            else:
+                client.local_state[key] = payload
+    algo.rounds_completed = manifest["rounds_completed"]
+    algo.fault_stats = FaultStats.from_dict(manifest.get("fault_stats", {}))
+    algo.ledger.uplink.clear()
+    algo.ledger.downlink.clear()
+    for direction in ("uplink", "downlink"):
+        store = getattr(algo.ledger, direction)
+        for r, per_client in manifest["ledger"][direction].items():
+            store[int(r)] = {int(c): int(n) for c, n in per_client.items()}
+
+
+def _write(path: str | Path, arrays: dict[str, np.ndarray],
+           manifest: dict) -> None:
     arrays["__manifest__"] = np.frombuffer(
         json.dumps(manifest).encode(), dtype=np.uint8)
-    np.savez_compressed(path, **arrays)
+    np.savez_compressed(Path(path), **arrays)
+
+
+# ------------------------------------------------------------- sync format
+
+def save_checkpoint(algo: FederatedAlgorithm, path: str | Path) -> None:
+    """Serialise a run's full state to ``path`` (.npz)."""
+    arrays: dict[str, np.ndarray] = {}
+    manifest = _collect_algo(algo, arrays)
+    _write(path, arrays, manifest)
 
 
 def load_checkpoint(algo: FederatedAlgorithm, path: str | Path) -> None:
@@ -80,44 +152,116 @@ def load_checkpoint(algo: FederatedAlgorithm, path: str | Path) -> None:
     """
     with np.load(Path(path)) as data:
         manifest = json.loads(bytes(data["__manifest__"]).decode())
-        if manifest["n_clients"] != len(algo.clients):
-            raise ValueError(
-                f"checkpoint has {manifest['n_clients']} clients, "
-                f"algorithm has {len(algo.clients)}")
-        prefixes = sorted(data.files)
+        _apply_algo(algo, data, manifest)
 
-        def collect(prefix: str) -> dict[str, np.ndarray]:
-            plen = len(prefix)
-            return {k[plen:]: data[k] for k in prefixes
-                    if k.startswith(prefix)}
 
-        algo.global_model.load_state_dict(collect("global."))
-        if manifest.get("has_c_global"):
-            values = collect("c_global.")
-            if manifest.get("c_global_is_variate"):
-                cv = ControlVariate({})
-                cv.values = values
-                algo.c_global = cv
-            else:
-                algo.c_global = values
-        for client in algo.clients:
-            keys = manifest["client_state_keys"].get(str(client.client_id), [])
-            client.local_state.clear()
-            for key, kind in keys:
-                payload = collect(f"client.{client.client_id}.{key}.")
-                if kind == "variate":
-                    cv = ControlVariate({})
-                    cv.values = payload
-                    client.local_state[key] = cv
-                else:
-                    client.local_state[key] = payload
-        algo.rounds_completed = manifest["rounds_completed"]
-        algo.fault_stats = FaultStats.from_dict(
-            manifest.get("fault_stats", {}))
-        algo.ledger.uplink.clear()
-        algo.ledger.downlink.clear()
-        for direction in ("uplink", "downlink"):
-            store = getattr(algo.ledger, direction)
-            for r, per_client in manifest["ledger"][direction].items():
-                store[int(r)] = {int(c): int(n)
-                                 for c, n in per_client.items()}
+# ------------------------------------------------------------ async format
+
+def save_async_checkpoint(runner: AsyncFederatedRunner,
+                          path: str | Path) -> None:
+    """Snapshot an async run mid-flight: algorithm state plus the virtual
+    clock, pending events, jobs (with undelivered updates), buffer,
+    queue, dedup registry, and counters."""
+    algo = runner.algo
+    arrays: dict[str, np.ndarray] = {}
+    manifest = _collect_algo(algo, arrays)
+    jobs_meta: dict[str, dict] = {}
+    for jid, job in runner.jobs.items():
+        jobs_meta[str(jid)] = {
+            "client_id": job.client_id,
+            "dispatch_step": job.dispatch_step,
+            "dispatch_time": job.dispatch_time,
+            "duration": job.duration,
+            "crashed": job.crashed,
+            "train_loss": job.train_loss,
+            "fingerprint": job.fingerprint,
+            "up_bytes": job.up_bytes,
+            "accepted": job.accepted,
+            "has_update": job.update is not None,
+        }
+        if job.update is not None:
+            arrays[f"job.{jid}.update"] = np.frombuffer(
+                encode_update(job.update), dtype=np.uint8)
+    stats = runner.stats
+    manifest["async"] = {
+        "clock": runner.clock.snapshot(),
+        "server_step": runner.server_step,
+        "commit_epoch": runner._commit_epoch,
+        "next_job": runner._next_job,
+        "started": runner._started,
+        "stalled": runner.stalled,
+        "client_jobs": {str(c): n for c, n in runner._client_jobs.items()},
+        "inflight": sorted(runner.inflight),
+        "queue": list(runner.queue),
+        "buffer": list(runner.buffer),
+        "fp_registry": [[cid, fp, jid]
+                        for (cid, fp), jid in runner._fp_registry.items()],
+        "counters": dict(runner.counters),
+        "jobs": jobs_meta,
+        "stats": stats.as_dict(),
+        # staged per-client outcome state (distinct-drop accounting is
+        # withdrawn-on-delivery, so both sides must survive a resume)
+        "stats_drops": {str(c): kind for c, kind in stats._drops.items()},
+        "stats_delivered": sorted(stats._delivered),
+        "step_results": [asdict(r) for r in runner.step_results],
+        "profile": asdict(runner.profile),
+        "config": asdict(runner.config),
+    }
+    _write(path, arrays, manifest)
+
+
+def load_async_checkpoint(runner: AsyncFederatedRunner,
+                          path: str | Path) -> None:
+    """Restore a snapshot from :func:`save_async_checkpoint`.
+
+    ``runner`` must be freshly constructed with the *same* profile and
+    config the snapshot was taken under (both are validated — a resumed
+    run with different knobs would silently diverge otherwise).
+    """
+    with np.load(Path(path)) as data:
+        manifest = json.loads(bytes(data["__manifest__"]).decode())
+        if "async" not in manifest:
+            raise ValueError("not an async checkpoint (use load_checkpoint)")
+        state = manifest["async"]
+        for name, current in (("profile", asdict(runner.profile)),
+                              ("config", asdict(runner.config))):
+            if state[name] != json.loads(json.dumps(current)):
+                raise ValueError(
+                    f"checkpoint {name} does not match the runner's: "
+                    f"{state[name]} != {current}")
+        _apply_algo(runner.algo, data, manifest)
+        runner.clock = VirtualClock.restore(state["clock"])
+        runner.server_step = int(state["server_step"])
+        runner._commit_epoch = int(state["commit_epoch"])
+        runner._next_job = int(state["next_job"])
+        runner._started = bool(state["started"])
+        runner.stalled = bool(state["stalled"])
+        runner._client_jobs = {int(c): int(n)
+                               for c, n in state["client_jobs"].items()}
+        runner.inflight = set(state["inflight"])
+        runner.queue = list(state["queue"])
+        runner.buffer = list(state["buffer"])
+        runner._fp_registry = {(int(cid), int(fp)): int(jid)
+                               for cid, fp, jid in state["fp_registry"]}
+        runner.counters = {k: int(v) for k, v in state["counters"].items()}
+        runner.jobs = {}
+        for jid_str, meta in state["jobs"].items():
+            jid = int(jid_str)
+            update = None
+            if meta["has_update"]:
+                update = decode_update(bytes(data[f"job.{jid}.update"]))
+            runner.jobs[jid] = _Job(
+                job_id=jid, client_id=int(meta["client_id"]),
+                dispatch_step=int(meta["dispatch_step"]),
+                dispatch_time=float(meta["dispatch_time"]),
+                duration=float(meta["duration"]),
+                crashed=bool(meta["crashed"]), update=update,
+                train_loss=float(meta["train_loss"]),
+                fingerprint=meta["fingerprint"], up_bytes=meta["up_bytes"],
+                accepted=bool(meta["accepted"]))
+        stats = FaultStats.from_dict(state["stats"])
+        stats._drops = {int(c): kind
+                        for c, kind in state["stats_drops"].items()}
+        stats._delivered = set(state["stats_delivered"])
+        runner.stats = stats
+        runner.step_results = [StepResult(**r) for r in state["step_results"]]

@@ -91,6 +91,7 @@ class SerialExecutor(RoundExecutor):
             except ClientFailure as failure:
                 stats.record_failure(failure)
                 continue
+            stats.record_delivery(client.client_id)
             updates.append(update)
             losses.append(algorithm.update_train_loss(update))
         return updates, losses
@@ -416,6 +417,7 @@ class ProcessPoolRoundExecutor(RoundExecutor):
             if outcome.failure is not None:
                 stats.record_failure(outcome.failure)
                 continue
+            stats.record_delivery(client.client_id)
             with _untraced():
                 # Aggregation only reads updates, so decode them as
                 # zero-copy views over the update blob (kept alive by the

@@ -25,13 +25,15 @@ from repro.obs.metrics import get_registry
 
 
 def _rebuild_failure(cls: type, client_id: int, round_idx: int,
-                     reason: str) -> "ClientFailure":
+                     reason: str, entry: str | None = None,
+                     offset: int | None = None) -> "ClientFailure":
     """Reconstruct a failure after a cross-process hop (pickle target).
 
     Subclass ``__init__`` signatures differ (duration, cause...), so
     rebuilding goes through ``__new__`` + the base initializer: the class
-    identity, message, and core fields survive; subclass-only extras
-    (which may themselves be unpicklable) do not.
+    identity, message, core fields, and codec context (``entry`` /
+    ``offset``) survive; subclass-only extras (which may themselves be
+    unpicklable, like a wrapped exception) do not.
     """
     failure = ClientFailure.__new__(cls)
     RuntimeError.__init__(failure,
@@ -39,23 +41,37 @@ def _rebuild_failure(cls: type, client_id: int, round_idx: int,
     failure.client_id = client_id
     failure.round_idx = round_idx
     failure.reason = reason
+    failure.entry = entry
+    failure.offset = offset
     return failure
 
 
 class ClientFailure(RuntimeError):
-    """A client failed to deliver a usable update this attempt."""
+    """A client failed to deliver a usable update this attempt.
 
-    def __init__(self, client_id: int, round_idx: int, reason: str):
+    ``entry`` / ``offset`` carry the codec context when the failure
+    originated inside the wire path (a :class:`PayloadError` names the
+    state-dict entry being decoded and the byte offset where decoding
+    stopped); they are ``None`` for failures outside the codec.  Both
+    survive the cross-process pickle hop, so a parent can still point at
+    the corrupted entry of a payload that died in a worker.
+    """
+
+    def __init__(self, client_id: int, round_idx: int, reason: str,
+                 entry: str | None = None, offset: int | None = None):
         super().__init__(
             f"client {client_id} round {round_idx}: {reason}")
         self.client_id = client_id
         self.round_idx = round_idx
         self.reason = reason
+        self.entry = entry
+        self.offset = offset
 
     def __reduce__(self):
         """Pickle support for shipping failures out of worker processes."""
         return (_rebuild_failure,
-                (type(self), self.client_id, self.round_idx, self.reason))
+                (type(self), self.client_id, self.round_idx, self.reason,
+                 self.entry, self.offset))
 
 
 class ClientDropped(ClientFailure):
@@ -77,24 +93,39 @@ class WorkerCrashed(ClientDropped):
 
 
 class StragglerTimeout(ClientFailure):
-    """The client's simulated round duration exceeded the server deadline."""
+    """The client's simulated round duration exceeded the server deadline.
+
+    When the deadline fires *inside* the codec path (a transfer that was
+    still decoding when time ran out), ``entry``/``offset`` locate how far
+    the decode got; they stay ``None`` for plain compute stragglers.
+    """
 
     def __init__(self, client_id: int, round_idx: int, duration: float,
-                 timeout: float):
+                 timeout: float, entry: str | None = None,
+                 offset: int | None = None):
         super().__init__(client_id, round_idx,
                          f"straggler took {duration:.2f} epoch-units "
-                         f"(> timeout {timeout:.2f})")
+                         f"(> timeout {timeout:.2f})",
+                         entry=entry, offset=offset)
         self.duration = duration
         self.timeout = timeout
 
 
 class TransferCorrupted(ClientFailure):
-    """A payload failed checksum/structural validation after transfer."""
+    """A payload failed checksum/structural validation after transfer.
+
+    The codec context of the underlying :class:`PayloadError` — which
+    entry was being decoded and at what byte offset validation stopped —
+    is lifted onto the failure itself (``entry``/``offset``), so it
+    survives even where ``cause`` cannot (the cross-process pickle hop
+    drops wrapped exceptions)."""
 
     def __init__(self, client_id: int, round_idx: int, direction: str,
                  cause: Exception):
         super().__init__(client_id, round_idx,
-                         f"{direction}link payload corrupted: {cause}")
+                         f"{direction}link payload corrupted: {cause}",
+                         entry=getattr(cause, "entry", None),
+                         offset=getattr(cause, "offset", None))
         self.direction = direction
         self.cause = cause
 
@@ -131,9 +162,21 @@ class RetryPolicy:
 
 @dataclass
 class FaultStats:
-    """Counters for one round (or, accumulated, for a whole run)."""
+    """Counters for one round (or, accumulated, for a whole run).
 
-    n_dropped: int = 0     # clients that exhausted all attempts
+    Attempt-level counters (``n_retries``, ``n_corrupt``...) count
+    *events* and so may exceed the cohort size.  ``n_dropped`` counts
+    client *outcomes*: distinct clients that never delivered an update
+    within the round.  Drop candidates are staged in an internal log by
+    :meth:`record_failure`; a later :meth:`record_delivery` for the same
+    client (a retried-then-succeeded client, e.g. after a quorum
+    re-sample) withdraws the candidate, and :meth:`finalize_drops` folds
+    whatever remains into ``n_dropped`` — so a client re-dropped across
+    re-sample iterations counts once, and one that eventually succeeded
+    counts zero times.
+    """
+
+    n_dropped: int = 0     # distinct clients that never delivered this round
     n_retries: int = 0     # extra attempts performed
     n_corrupt: int = 0     # corrupted transfers detected (either direction)
     n_timeouts: int = 0    # straggler deadline misses
@@ -141,11 +184,36 @@ class FaultStats:
     n_resamples: int = 0   # quorum-failed re-samples of the round cohort
     backoff_time: float = 0.0  # simulated seconds spent backing off
 
+    def __post_init__(self):
+        # Round-scoped drop staging; not dataclass fields, so merge /
+        # as_dict / equality stay pure counter arithmetic.  (Pickle ships
+        # __dict__, so staged entries survive a process hop too.)
+        self._drops: dict[int, str] = {}
+        self._delivered: set[int] = set()
+
     def record_failure(self, failure: ClientFailure) -> None:
-        """A client permanently failed this round (post-retries)."""
-        self.n_dropped += 1
-        get_registry().counter("fl.clients_dropped",
-                               kind=type(failure).__name__).inc()
+        """Stage a client that permanently failed an iteration (post-retries).
+
+        Becomes an ``n_dropped`` count at :meth:`finalize_drops` unless a
+        :meth:`record_delivery` for the same client lands first.
+        """
+        if failure.client_id not in self._delivered:
+            self._drops.setdefault(failure.client_id,
+                                   type(failure).__name__)
+
+    def record_delivery(self, client_id: int) -> None:
+        """A client delivered a usable update: withdraw any staged drop."""
+        self._delivered.add(client_id)
+        self._drops.pop(client_id, None)
+
+    def finalize_drops(self) -> None:
+        """Fold staged drops into ``n_dropped`` (idempotent; end of round)."""
+        registry = get_registry()
+        for kind in self._drops.values():
+            self.n_dropped += 1
+            registry.counter("fl.clients_dropped", kind=kind).inc()
+        self._drops.clear()
+        self._delivered.clear()
 
     def record_attempt_failure(self, failure: ClientFailure) -> None:
         """One attempt failed (may be retried)."""

@@ -1,11 +1,15 @@
-"""Unit tests: checkpoint save/resume for FL runs."""
+"""Unit tests: checkpoint save/resume for FL runs (sync and async)."""
 
 import numpy as np
 import pytest
 
 from repro.core import SPATL, StaticSaliencyPolicy
-from repro.fl import FaultModel, FedAvg, Scaffold, make_federated_clients
-from repro.fl.checkpoint import load_checkpoint, save_checkpoint
+from repro.fl import (AsyncConfig, AsyncFederatedRunner, AsyncProfile,
+                      FaultModel, FedAvg, Scaffold, make_federated_clients,
+                      serialize_state, state_fingerprint)
+from repro.fl.checkpoint import (load_async_checkpoint, load_checkpoint,
+                                 save_async_checkpoint, save_checkpoint)
+from repro.fl.stub import make_stub
 
 
 def _clients(tiny_dataset, tiny_setting):
@@ -198,3 +202,153 @@ class TestMidRoundCrashResume:
         load_checkpoint(resumed, path)
         resumed_log = resumed.run(rounds=1)
         self._assert_same_trajectory(ref, resumed, ref_log, resumed_log)
+
+    def test_faulty_run_with_retries_resumes_byte_identical(
+            self, tmp_path, tiny_dataset, tiny_setting):
+        """ISSUE-6 satellite: crash mid-round while the fault path's
+        retry machinery is active; resuming from the last boundary
+        checkpoint must reproduce the uninterrupted faulty run's final
+        state *byte-identically* (the fault RNG tree is keyed, never
+        sequential, so a half-executed round leaks no draws)."""
+        model_fn, _ = tiny_setting
+        fault_kw = dict(
+            lr=0.05, local_epochs=1, seed=0, min_clients=2,
+            fault_model=FaultModel(drop_prob=0.4, straggler_prob=0.3,
+                                   timeout=6.0, corrupt_prob=0.1,
+                                   crash_prob=0.1, seed=7))
+
+        def fresh():
+            return FedAvg(model_fn, _clients(tiny_dataset, tiny_setting),
+                          **fault_kw)
+
+        ref = fresh()
+        ref.run(rounds=3)
+        assert ref.fault_stats.n_retries > 0  # the retry loop really ran
+
+        doomed = fresh()
+        doomed.run(rounds=2)
+        path = tmp_path / "faulty_mid.npz"
+        save_checkpoint(doomed, path)
+        # Crash partway through round 2's retry loop: a client trains
+        # (mutating in-memory state), further retries never happen.
+        from repro.fl.base import sample_clients
+        victim = sample_clients(doomed.clients, doomed.sample_ratio,
+                                doomed.seed, 2)[0]
+        doomed.local_update(victim, 2)
+
+        resumed = fresh()
+        load_checkpoint(resumed, path)
+        assert resumed.fault_stats == doomed.fault_stats
+        resumed.run(rounds=1)
+        assert serialize_state(dict(ref.global_model.state_dict())) \
+            == serialize_state(dict(resumed.global_model.state_dict()))
+        assert resumed.ledger.total_bytes() == ref.ledger.total_bytes()
+        assert resumed.fault_stats == ref.fault_stats
+
+
+HOSTILE = dict(jitter=0.3, straggler_prob=0.4, slowdown=6.0,
+               arrival_spread=1.0, churn_prob=0.15, crash_prob=0.1,
+               duplicate_prob=0.25)
+
+
+class TestAsyncCheckpoint:
+    """Mid-flight snapshots of the async runtime: clock, buffer, in-flight
+    jobs, dedup registry, and counters all resume bit-exactly."""
+
+    def _fresh(self, seed=5):
+        profile = AsyncProfile(seed=seed, **HOSTILE)
+        config = AsyncConfig(buffer_k=3, max_inflight=4, max_queue=4)
+        return AsyncFederatedRunner(make_stub(n_clients=10, seed=seed),
+                                    profile, config)
+
+    def _state(self, runner):
+        return (state_fingerprint(dict(
+                    runner.algo.global_model.state_dict())),
+                dict(runner.counters), runner.clock.now,
+                runner.server_step,
+                runner.algo.ledger.total_bytes(),
+                [(r.step, r.n_updates, r.time, r.max_staleness)
+                 for r in runner.step_results])
+
+    def test_mid_buffer_resume_matches_uninterrupted(self, tmp_path):
+        ref = self._fresh()
+        ref.run(steps=12)
+
+        first = self._fresh()
+        first.pump(23)   # mid-flight: somewhere inside a server step
+        assert first.buffer or first.inflight  # snapshot is genuinely mid-work
+        path = tmp_path / "async.npz"
+        save_async_checkpoint(first, path)
+
+        resumed = self._fresh()
+        load_async_checkpoint(resumed, path)
+        assert resumed.buffer == first.buffer
+        assert resumed.inflight == first.inflight
+        assert resumed.queue == first.queue
+        resumed.run(steps=12 - resumed.server_step)
+        assert self._state(resumed) == self._state(ref)
+
+    def test_spatl_mid_buffer_resume(self, tmp_path, tiny_dataset,
+                                     tiny_setting):
+        model_fn, _ = tiny_setting
+        profile = AsyncProfile(seed=5, **HOSTILE)
+        config = AsyncConfig(buffer_k=2, max_inflight=3, max_queue=3)
+
+        def fresh():
+            algo = SPATL(model_fn, _clients(tiny_dataset, tiny_setting),
+                         selection_policy=StaticSaliencyPolicy(0.3),
+                         lr=0.05, local_epochs=1, seed=0)
+            return AsyncFederatedRunner(algo, profile, config)
+
+        ref = fresh()
+        ref.run(steps=4)
+
+        first = fresh()
+        first.pump(9)
+        path = tmp_path / "async_spatl.npz"
+        save_async_checkpoint(first, path)
+        resumed = fresh()
+        load_async_checkpoint(resumed, path)
+        resumed.run(steps=4 - resumed.server_step)
+        assert serialize_state(dict(ref.algo.global_model.state_dict())) \
+            == serialize_state(dict(
+                resumed.algo.global_model.state_dict()))
+        assert resumed.algo.ledger.total_bytes() \
+            == ref.algo.ledger.total_bytes()
+        assert resumed.counters == ref.counters
+
+    def test_config_mismatch_rejected(self, tmp_path):
+        runner = self._fresh()
+        runner.pump(10)
+        path = tmp_path / "a.npz"
+        save_async_checkpoint(runner, path)
+        other = AsyncFederatedRunner(
+            make_stub(n_clients=10, seed=5),
+            AsyncProfile(seed=5, **HOSTILE),
+            AsyncConfig(buffer_k=5, max_inflight=4, max_queue=4))
+        with pytest.raises(ValueError):
+            load_async_checkpoint(other, path)
+
+    def test_profile_mismatch_rejected(self, tmp_path):
+        runner = self._fresh()
+        runner.pump(10)
+        path = tmp_path / "b.npz"
+        save_async_checkpoint(runner, path)
+        other = AsyncFederatedRunner(
+            make_stub(n_clients=10, seed=5), AsyncProfile(seed=99),
+            AsyncConfig(buffer_k=3, max_inflight=4, max_queue=4))
+        with pytest.raises(ValueError):
+            load_async_checkpoint(other, path)
+
+    def test_sync_checkpoint_rejected_by_async_loader(self, tmp_path,
+                                                      tiny_dataset,
+                                                      tiny_setting):
+        model_fn, _ = tiny_setting
+        algo = FedAvg(model_fn, _clients(tiny_dataset, tiny_setting),
+                      lr=0.05, local_epochs=1, seed=0)
+        algo.run(rounds=1)
+        path = tmp_path / "sync.npz"
+        save_checkpoint(algo, path)
+        runner = self._fresh()
+        with pytest.raises(ValueError):
+            load_async_checkpoint(runner, path)

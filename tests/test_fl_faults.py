@@ -6,6 +6,7 @@ acceptances), retried bytes are charged to the ledger, degradation under
 drop_prob=0.3 stays bounded, and the fault path is strictly opt-in.
 """
 
+import pickle
 import warnings
 
 import numpy as np
@@ -14,9 +15,10 @@ import pytest
 from repro.core import SPATL, StaticSaliencyPolicy
 from repro.fl import (Client, CommLedger, FaultModel, FaultyTransport, FedAvg,
                       RetryPolicy, Scaffold, StragglerTimeout,
-                      TransferCorrupted, make_federated_clients,
-                      serialize_state)
+                      TransferCorrupted, deserialize_state,
+                      make_federated_clients, serialize_state)
 from repro.fl.resilience import ClientDropped, FaultStats
+from repro.fl.wire import PayloadError
 
 
 @pytest.fixture
@@ -304,3 +306,76 @@ class TestFaultStats:
     def test_from_dict_ignores_unknown_keys(self):
         stats = FaultStats.from_dict({"n_dropped": 4, "bogus": 9})
         assert stats.n_dropped == 4
+
+    def test_staged_drops_count_distinct_clients(self):
+        """ISSUE-6 satellite: a client re-dropped across quorum re-samples
+        is one dropped client, not one per failed iteration."""
+        stats = FaultStats()
+        for _ in range(3):  # same client fails three re-sample iterations
+            stats.record_failure(ClientDropped(4, 0, "offline"))
+        stats.record_failure(ClientDropped(9, 0, "offline"))
+        stats.finalize_drops()
+        assert stats.n_dropped == 2
+
+    def test_delivery_withdraws_staged_drop(self):
+        """Failed-then-delivered (retry succeeded after a re-sample) is
+        not a drop; delivery also blocks later staging for that client."""
+        stats = FaultStats()
+        stats.record_failure(ClientDropped(4, 0, "offline"))
+        stats.record_delivery(4)
+        stats.record_failure(ClientDropped(4, 0, "offline again"))
+        stats.finalize_drops()
+        assert stats.n_dropped == 0
+
+    def test_finalize_is_idempotent(self):
+        stats = FaultStats()
+        stats.record_failure(ClientDropped(1, 0, "offline"))
+        stats.finalize_drops()
+        stats.finalize_drops()
+        assert stats.n_dropped == 1
+        # next round's staging starts clean
+        stats.record_delivery(1)
+        stats.record_failure(ClientDropped(1, 1, "offline"))
+        stats.finalize_drops()
+        assert stats.n_dropped == 1
+
+
+class TestFailureContext:
+    """ISSUE-6 satellite: entry/offset codec context rides typed failures."""
+
+    def _corrupt_payload_error(self):
+        state = {"w": np.arange(12, dtype=np.float32).reshape(3, 4)}
+        blob = bytearray(serialize_state(state, checksums=True))
+        blob[-2] ^= 0xFF  # flip inside the last entry's array bytes
+        with pytest.raises(PayloadError) as err:
+            deserialize_state(bytes(blob), checksums=True)
+        return err.value
+
+    def test_payload_error_names_entry_and_offset(self):
+        cause = self._corrupt_payload_error()
+        assert cause.entry == "w"
+        assert isinstance(cause.offset, int) and cause.offset > 0
+        assert "'w'" in str(cause) and "offset" in str(cause)
+
+    def test_transfer_corrupted_lifts_codec_context(self):
+        cause = self._corrupt_payload_error()
+        failure = TransferCorrupted(3, 7, "up", cause)
+        assert failure.entry == cause.entry
+        assert failure.offset == cause.offset
+        # non-codec causes leave the context empty
+        plain = TransferCorrupted(3, 7, "down", ValueError("checksum"))
+        assert plain.entry is None and plain.offset is None
+
+    def test_failures_pickle_with_context(self):
+        cause = self._corrupt_payload_error()
+        for failure in (
+                TransferCorrupted(3, 7, "up", cause),
+                StragglerTimeout(2, 1, 9.5, 4.0, entry="w", offset=64),
+                ClientDropped(5, 2, "offline")):
+            clone = pickle.loads(pickle.dumps(failure))
+            assert type(clone) is type(failure)
+            assert (clone.client_id, clone.round_idx) \
+                == (failure.client_id, failure.round_idx)
+            assert (clone.entry, clone.offset) \
+                == (failure.entry, failure.offset)
+            assert str(failure.reason) in str(clone)
