@@ -309,12 +309,14 @@ def main(argv=None) -> int:
     print(f"loop_overhead      {cases[-1]['us_per_event']}us/event "
           f"({cases[-1]['events']} events in {cases[-1]['total_s']}s)")
 
+    from repro.obs.metrics import observe_peak_rss
     record = {
         "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "smoke": args.smoke,
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "numpy": __import__("numpy").__version__,
+        "peak_rss_bytes": observe_peak_rss(),
         "cases": cases,
     }
     out = Path(args.out)

@@ -89,6 +89,7 @@ def main(argv=None) -> int:
         print(f"workers={workers:2d}  wall={wall:8.2f}s  "
               f"speedup={baseline_wall / wall:5.2f}x  [{status}]")
 
+    from repro.obs.metrics import observe_peak_rss
     record = {
         "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "scale": args.scale,
@@ -97,6 +98,7 @@ def main(argv=None) -> int:
                    "model": cfg.model},
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
+        "peak_rss_bytes": observe_peak_rss(),
         "results": rows,
     }
     out = Path(args.out)

@@ -31,7 +31,8 @@ from repro.experiments import (ablation_gradient_control, ablation_selection,
                                transferability_table)
 from repro.fl import AsyncConfig, AsyncFederatedRunner, AsyncProfile
 from repro.experiments.communication import render_cost_table
-from repro.experiments.configs import make_algorithm, make_setting
+from repro.experiments.configs import (make_algorithm, make_dataset,
+                                       make_setting)
 from repro.experiments.inference import render_inference_table
 from repro.experiments.learning_efficiency import converge_accuracy_summary
 from repro.experiments.pruning_compare import render_pruning_table
@@ -184,6 +185,60 @@ def cmd_async_convergence(args) -> None:
           json.dumps(result["async"]["summary"], indent=2))
 
 
+def cmd_scale(args) -> None:
+    """Population-scale rounds: virtual clients over a spill-to-disk
+    client-state store, streaming fold aggregation at the root, and an
+    optional edge-aggregator hierarchy (DESIGN.md §13).  Byte-identical
+    to the materialized baseline round loop."""
+    import tempfile
+
+    from repro.data import dirichlet_partition
+    from repro.fl import (ClientStateStore, ScaleRunner,
+                          ShardedClientFactory, VirtualClientPool)
+    from repro.models import build_model
+    from repro.obs import observe_peak_rss
+
+    cfg = _cfg(args, n_clients=args.population)
+    ds = make_dataset(cfg)
+    parts = dirichlet_partition(ds.y, args.population, beta=cfg.beta,
+                                seed=cfg.seed)
+    store_dir = args.store_dir or tempfile.mkdtemp(prefix="repro-scale-")
+    store = ClientStateStore(store_dir)
+    pool = VirtualClientPool(
+        ShardedClientFactory(dataset=ds, parts=parts,
+                             batch_size=cfg.batch_size, seed=cfg.seed),
+        args.population, store, resident_limit=args.resident)
+    in_size = cfg.input_size
+
+    def model_fn():
+        return build_model(cfg.model, num_classes=cfg.num_classes,
+                           input_size=in_size, width_mult=cfg.width_mult,
+                           seed=cfg.seed + 1)
+
+    algo = make_algorithm(args.algorithm, cfg, model_fn, pool.clients())
+    # Full (per-client) evaluation is O(population) forward passes;
+    # large populations report loss only.
+    eval_mode = "full" if args.population <= 256 else "none"
+    runner = ScaleRunner(algo, pool=pool, edges=args.edges,
+                         eval_mode=eval_mode)
+    try:
+        for r in runner.run(cfg.rounds):
+            print(f"round {r.round_idx:3d}  loss={r.avg_train_loss:.4f}  "
+                  f"acc={r.avg_val_acc:.4f}  updates={r.n_participants}  "
+                  f"bytes={r.round_bytes}")
+    finally:
+        algo.close()
+    counters = get_registry().snapshot()["counters"]
+    print(json.dumps({
+        "population": args.population, "edges": args.edges,
+        "store_dir": store.root, "store_entries": len(store),
+        "store_bytes": store.nbytes, "resident_clients": pool.resident,
+        "materializations": counters.get("scale.materializations", 0),
+        "evictions": counters.get("scale.evictions", 0),
+        "peak_rss_bytes": observe_peak_rss(),
+    }, indent=2))
+
+
 def cmd_profile(args) -> None:
     """Trace + profile a few rounds; print timeline and hotspot tables."""
     cfg = _cfg(args, rounds=args.rounds or 2)
@@ -268,6 +323,7 @@ COMMANDS = {
     "rl-finetune": cmd_rl_finetune,
     "fault-tolerance": cmd_fault_tolerance,
     "async-convergence": cmd_async_convergence,
+    "scale": cmd_scale,
     "profile": cmd_profile,
 }
 
@@ -358,6 +414,25 @@ def build_parser() -> argparse.ArgumentParser:
                       help="per-upload duplicate-delivery probability")
     asyn.add_argument("--async-seed", type=int, default=None,
                       help="async profile RNG seed (defaults to --seed)")
+    scale = parser.add_argument_group(
+        "population scale",
+        "Virtual-client simulation over a spill-to-disk state store with "
+        "streaming fold aggregation (DESIGN.md §13); used by the scale "
+        "command.  Byte-identical to the materialized round loop.")
+    scale.add_argument("--population", type=int, default=32,
+                       help="virtual-client population size (clients are "
+                            "materialized lazily per round, never all at "
+                            "once)")
+    scale.add_argument("--store-dir", default=None, metavar="DIR",
+                       help="directory for the sharded client-state store "
+                            "and spill files (default: a fresh temp dir)")
+    scale.add_argument("--edges", type=int, default=1,
+                       help="edge aggregators; 1 folds uploads straight at "
+                            "the root, N>1 routes contiguous cohort slices "
+                            "through edge partials")
+    scale.add_argument("--resident", type=int, default=64,
+                       help="max clients held in memory at once (LRU; "
+                            "evicted state spills to the store)")
     obs = parser.add_argument_group(
         "observability",
         "Tracing/metrics capture (repro.obs); off by default — the no-op "
@@ -368,8 +443,9 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--metrics-out", default=None, metavar="PATH",
                      help="write the run's metrics snapshot as JSON")
     obs.add_argument("--algorithm", default="fedavg",
-                     help="algorithm the profile command runs (default "
-                          "fedavg; any registered name incl. spatl)")
+                     help="algorithm the profile/scale commands run "
+                          "(default fedavg; any registered name incl. "
+                          "spatl)")
     return parser
 
 

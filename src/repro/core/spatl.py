@@ -295,6 +295,11 @@ class SPATL(FederatedAlgorithm):
                             u["eff_steps"] * self.lr))
                 self.c_global.values[name] = (c_val + acc / n_all).astype(c_val.dtype)
 
+    def make_fold(self, spill, weighted: bool = False):
+        """Streaming Eq. 12/11 fold (bitwise-equal to the batch path)."""
+        from repro.fl.scale.fold import SPATLFold
+        return SPATLFold(self, spill, weighted=weighted)
+
     # ------------------------------------------ parallel-execution hooks
     def worker_sync_state(self) -> dict[str, np.ndarray]:
         """Global model plus the server control variate (``cv.*``)."""

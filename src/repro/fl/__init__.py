@@ -32,7 +32,10 @@ algorithm rides on:
 - :mod:`repro.fl.checkpoint` — bit-exact run checkpoint/resume, for both
   the synchronous loop and mid-flight async runs;
 - :mod:`repro.fl.topk` — top-k delta sparsification with error feedback,
-  a generic-compression comparator for SPATL's structured selection.
+  a generic-compression comparator for SPATL's structured selection;
+- :mod:`repro.fl.scale` — population-scale simulation: virtual clients
+  over a spill-to-disk state store, streaming fold aggregation, and
+  hierarchical edge aggregators (DESIGN.md §13; CLI ``scale``).
 """
 
 from repro.fl.comm import (CommLedger, PayloadError, payload_nbytes,
@@ -56,6 +59,9 @@ from repro.fl.fedprox import FedProx
 from repro.fl.fednova import FedNova
 from repro.fl.scaffold import Scaffold
 from repro.fl.topk import FedTopK
+from repro.fl.scale import (ClientStateStore, EdgeAggregator, ScaleRunner,
+                            ShardedClientFactory, StubClientFactory,
+                            UpdateSpill, VirtualClient, VirtualClientPool)
 
 ALGORITHMS = {
     "fedavg": FedAvg,
@@ -79,4 +85,7 @@ __all__ = [
     "BroadcastCache", "codec_validate", "state_fingerprint",
     "AsyncProfile", "AsyncConfig", "AsyncFederatedRunner", "StepResult",
     "VirtualClock", "staleness_weight",
+    "ClientStateStore", "VirtualClient", "VirtualClientPool",
+    "ShardedClientFactory", "StubClientFactory", "UpdateSpill",
+    "EdgeAggregator", "ScaleRunner",
 ]

@@ -50,6 +50,8 @@ from __future__ import annotations
 
 import heapq
 import math
+import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -87,10 +89,13 @@ class AsyncConfig:
                                           # update to a forced commit
     eval_every: int = 0            # evaluate_all() every N commits (0 = never)
     flush_final: bool = True       # commit a partial buffer at run end
+    dedup_capacity: int = 4096     # bounded CRC32 dedup registry (FIFO evict)
 
     def __post_init__(self):
         if self.buffer_k < 1:
             raise ValueError("buffer_k must be >= 1")
+        if self.dedup_capacity < 1:
+            raise ValueError("dedup_capacity must be >= 1")
         if self.staleness_alpha < 0:
             raise ValueError("staleness_alpha must be >= 0")
         if self.max_inflight < 1:
@@ -196,7 +201,7 @@ class AsyncFederatedRunner:
     """
 
     def __init__(self, algorithm: FederatedAlgorithm, profile: AsyncProfile,
-                 config: AsyncConfig | None = None):
+                 config: AsyncConfig | None = None, update_store=None):
         self.algo = algorithm
         self.profile = profile
         self.config = config or AsyncConfig()
@@ -208,7 +213,15 @@ class AsyncFederatedRunner:
         self.inflight: set[int] = set()
         self.queue: list[int] = []               # FIFO of waiting client ids
         self.buffer: list[int] = []              # accepted, uncommitted jobs
-        self._fp_registry: dict[tuple[int, int], int] = {}  # (cid, crc) -> job
+        # (cid, crc) -> job; FIFO-bounded at config.dedup_capacity so long
+        # runs keep O(capacity) memory (DESIGN.md §13)
+        self._fp_registry: OrderedDict[tuple[int, int], int] = OrderedDict()
+        self.dedup_evictions = 0
+        # Optional spill-to-disk store for in-flight updates: dispatched
+        # jobs park their update blobs here (losslessly framed) and the
+        # commit streams them through the algorithm's fold — server memory
+        # stays O(model) regardless of max_inflight (DESIGN.md §13).
+        self._store = update_store
         self.server_step = 0
         self._commit_epoch = 0
         self.stats = FaultStats()
@@ -300,6 +313,11 @@ class AsyncFederatedRunner:
             if not crashed:
                 job.update = algo.local_update(client, round_for_client)
                 job.train_loss = algo.update_train_loss(job.update)
+                if self._store is not None:
+                    from repro.fl.comm import encode_update
+                    self._store.put(f"job/{job_id}",
+                                    encode_update(job.update))
+                    job.update = None    # lives on disk until commit
         self.jobs[job_id] = job
         self.inflight.add(job_id)
         self._bump("dispatched")
@@ -326,8 +344,14 @@ class AsyncFederatedRunner:
         """An upload (or a duplicated delivery of one) reaches the server."""
         job = self.jobs[job_id]
         cid = job.client_id
+        if job.accepted:
+            # A later delivery of an already-accepted job is a duplicate
+            # regardless of the fingerprint registry — which is bounded,
+            # so its entry may have been FIFO-evicted by now.
+            self._bump("deduped")
+            return
         if job.fingerprint is None:
-            payload = self.algo.upload_payload(job.update)
+            payload = self.algo.upload_payload(self._job_update(job))
             job.fingerprint = state_fingerprint(payload)
             job.up_bytes = payload_nbytes(payload)
         else:
@@ -338,8 +362,18 @@ class AsyncFederatedRunner:
             # already accepted from this client (duplicate or late
             # retransmission) is dropped before any accounting.
             self._bump("deduped")
+            if self._store is not None and self._fp_registry[key] != job_id:
+                # A *different* job won the fingerprint — this one will
+                # never commit, so its spilled update is garbage now.  A
+                # duplicate delivery of the accepted job itself keeps its
+                # entry (still needed at commit).
+                self._store.delete(f"job/{job_id}")
             return
         self._fp_registry[key] = job_id
+        while len(self._fp_registry) > self.config.dedup_capacity:
+            self._fp_registry.popitem(last=False)
+            self.dedup_evictions += 1
+            get_registry().counter("async.dedup_evictions").inc()
         job.accepted = True
         self.inflight.discard(job_id)
         tracer = get_tracer()
@@ -347,7 +381,7 @@ class AsyncFederatedRunner:
                          job=job_id) as span:
             if tracer.enabled:
                 if payload is None:
-                    payload = self.algo.upload_payload(job.update)
+                    payload = self.algo.upload_payload(self._job_update(job))
                 codec_validate(payload, owner=self.algo)
             self.algo.ledger.record_up(job.dispatch_step, cid, job.up_bytes)
             self.stats.record_delivery(cid)
@@ -398,6 +432,34 @@ class AsyncFederatedRunner:
         self._drain_queue()
 
     # ------------------------------------------------------------- commit
+    def _job_update(self, job: _Job) -> Any:
+        """The job's update, wherever it lives (memory or spill store)."""
+        if job.update is not None:
+            return job.update
+        if self._store is not None:
+            blob = self._store.get(f"job/{job.job_id}")
+            if blob is not None:
+                from repro.fl.comm import decode_update
+                return decode_update(blob)
+        return None
+
+    def _fold_commit(self, jobs: list[_Job], weights: list[float]) -> None:
+        """Commit by streaming spilled updates through the algorithm's
+        fold — one update in memory at a time, bitwise-equal to
+        ``aggregate_weighted`` over the materialized list."""
+        from repro.fl.scale.fold import UpdateSpill
+        use_weighted = not all(w == 1.0 for w in weights)
+        spill = UpdateSpill(os.path.join(
+            self._store.root, "spills", f"commit_{self._commit_epoch}.spill"))
+        fold = self.algo.make_fold(spill, weighted=use_weighted)
+        for job, w in zip(jobs, weights):
+            if use_weighted:
+                fold.add(self._job_update(job), w)
+            else:
+                fold.add(self._job_update(job))
+        fold.finalize(self.server_step)
+        spill.unlink()
+
     def _commit(self, deadline: bool = False, partial: bool = False) -> None:
         """Fold the buffer into the global state as one server step."""
         assert self.buffer, "commit with an empty buffer"
@@ -408,12 +470,16 @@ class AsyncFederatedRunner:
         staleness = [self.server_step - j.dispatch_step for j in jobs]
         weights = [staleness_weight(s, cfg.staleness_alpha)
                    for s in staleness]
-        updates = [j.update for j in jobs]
         tracer = get_tracer()
         metrics = get_registry()
         with tracer.span("commit", step=self.server_step,
                          n_updates=len(jobs), deadline=deadline) as span:
-            self.algo.aggregate_weighted(updates, weights, self.server_step)
+            if self._store is not None:
+                self._fold_commit(jobs, weights)
+            else:
+                updates = [j.update for j in jobs]
+                self.algo.aggregate_weighted(updates, weights,
+                                             self.server_step)
             span.set(max_staleness=max(staleness),
                      mean_weight=float(np.mean(weights)))
         hist = metrics.histogram("async.staleness", bounds=STALENESS_BOUNDS)
@@ -432,6 +498,8 @@ class AsyncFederatedRunner:
         self.buffer.clear()
         for job in jobs:
             job.update = None        # committed: drop the payload reference
+            if self._store is not None:
+                self._store.delete(f"job/{job.job_id}")
         self.counters["committed"] += len(jobs)
         self.server_step += 1
         self._commit_epoch += 1      # invalidates any armed deadline

@@ -205,6 +205,20 @@ class FederatedAlgorithm:
         """Model used to evaluate ``client`` (global by default)."""
         return self.global_model
 
+    def make_fold(self, spill, weighted: bool = False):
+        """Streaming-fold accumulator shadowing :meth:`aggregate`.
+
+        The population-scale loop (:mod:`repro.fl.scale`, DESIGN.md §13)
+        folds each upload as it arrives instead of materializing the
+        cohort.  The base implementation returns the lossless
+        spill-then-replay fold, which is bitwise-correct for *every*
+        algorithm; subclasses whose aggregation decomposes into
+        running accumulators (FedAvg's weighted mean, SPATL's Eq. 12
+        counts) override it with a true O(model) fold.
+        """
+        from repro.fl.scale.fold import SpillReplayFold
+        return SpillReplayFold(self, spill, weighted=weighted)
+
     # ------------------------------------------- parallel-execution hooks
     # These describe the server-side state a worker process needs to run
     # one client exchange, and the per-client state it must hand back.

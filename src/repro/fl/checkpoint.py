@@ -47,13 +47,22 @@ def _flatten(prefix: str, state: dict, out: dict[str, np.ndarray]) -> None:
 # --------------------------------------------------------------------------
 
 def _collect_algo(algo: FederatedAlgorithm,
-                  arrays: dict[str, np.ndarray]) -> dict:
+                  arrays: dict[str, np.ndarray],
+                  include_clients: bool = True) -> dict:
     """Flatten the algorithm's resumable state into ``arrays``; return the
-    manifest fragment describing it."""
+    manifest fragment describing it.
+
+    ``include_clients=False`` skips per-client ``local_state`` — used by
+    the population-scale runner (:mod:`repro.fl.scale`), whose client
+    state lives in the spill-to-disk store and is checkpointed as a
+    store manifest instead; walking 100k virtual clients here would
+    materialize them all.
+    """
     manifest: dict = {
         "algorithm": algo.name,
         "rounds_completed": algo.rounds_completed,
         "n_clients": len(algo.clients),
+        "includes_clients": include_clients,
         "client_state_keys": {},
     }
     _flatten("global.", algo.global_model.state_dict(), arrays)
@@ -63,17 +72,18 @@ def _collect_algo(algo: FederatedAlgorithm,
         _flatten("c_global.", values, arrays)
         manifest["has_c_global"] = True
         manifest["c_global_is_variate"] = isinstance(cg, ControlVariate)
-    for client in algo.clients:
-        cid = client.client_id
-        keys = []
-        for key, value in client.local_state.items():
-            if isinstance(value, ControlVariate):
-                _flatten(f"client.{cid}.{key}.", value.values, arrays)
-                keys.append([key, "variate"])
-            elif isinstance(value, dict):
-                _flatten(f"client.{cid}.{key}.", value, arrays)
-                keys.append([key, "dict"])
-        manifest["client_state_keys"][str(cid)] = keys
+    if include_clients:
+        for client in algo.clients:
+            cid = client.client_id
+            keys = []
+            for key, value in client.local_state.items():
+                if isinstance(value, ControlVariate):
+                    _flatten(f"client.{cid}.{key}.", value.values, arrays)
+                    keys.append([key, "variate"])
+                elif isinstance(value, dict):
+                    _flatten(f"client.{cid}.{key}.", value, arrays)
+                    keys.append([key, "dict"])
+            manifest["client_state_keys"][str(cid)] = keys
     # cumulative fault-tolerance counters (resumed runs keep reporting the
     # drops/retries/corruptions that happened before the crash)
     manifest["fault_stats"] = algo.fault_stats.as_dict()
@@ -107,17 +117,18 @@ def _apply_algo(algo: FederatedAlgorithm, data, manifest: dict) -> None:
             algo.c_global = cv
         else:
             algo.c_global = values
-    for client in algo.clients:
-        keys = manifest["client_state_keys"].get(str(client.client_id), [])
-        client.local_state.clear()
-        for key, kind in keys:
-            payload = collect(f"client.{client.client_id}.{key}.")
-            if kind == "variate":
-                cv = ControlVariate({})
-                cv.values = payload
-                client.local_state[key] = cv
-            else:
-                client.local_state[key] = payload
+    if manifest.get("includes_clients", True):
+        for client in algo.clients:
+            keys = manifest["client_state_keys"].get(str(client.client_id), [])
+            client.local_state.clear()
+            for key, kind in keys:
+                payload = collect(f"client.{client.client_id}.{key}.")
+                if kind == "variate":
+                    cv = ControlVariate({})
+                    cv.values = payload
+                    client.local_state[key] = cv
+                else:
+                    client.local_state[key] = payload
     algo.rounds_completed = manifest["rounds_completed"]
     algo.fault_stats = FaultStats.from_dict(manifest.get("fault_stats", {}))
     algo.ledger.uplink.clear()
@@ -167,6 +178,9 @@ def save_async_checkpoint(runner: AsyncFederatedRunner,
     manifest = _collect_algo(algo, arrays)
     jobs_meta: dict[str, dict] = {}
     for jid, job in runner.jobs.items():
+        # In update-store mode a live job's update lives on disk; it is
+        # re-materialized here so the checkpoint stays self-contained.
+        update = runner._job_update(job)
         jobs_meta[str(jid)] = {
             "client_id": job.client_id,
             "dispatch_step": job.dispatch_step,
@@ -177,11 +191,11 @@ def save_async_checkpoint(runner: AsyncFederatedRunner,
             "fingerprint": job.fingerprint,
             "up_bytes": job.up_bytes,
             "accepted": job.accepted,
-            "has_update": job.update is not None,
+            "has_update": update is not None,
         }
-        if job.update is not None:
+        if update is not None:
             arrays[f"job.{jid}.update"] = np.frombuffer(
-                encode_update(job.update), dtype=np.uint8)
+                encode_update(update), dtype=np.uint8)
     stats = runner.stats
     manifest["async"] = {
         "clock": runner.clock.snapshot(),
@@ -196,6 +210,7 @@ def save_async_checkpoint(runner: AsyncFederatedRunner,
         "buffer": list(runner.buffer),
         "fp_registry": [[cid, fp, jid]
                         for (cid, fp), jid in runner._fp_registry.items()],
+        "dedup_evictions": runner.dedup_evictions,
         "counters": dict(runner.counters),
         "jobs": jobs_meta,
         "stats": stats.as_dict(),
@@ -241,8 +256,11 @@ def load_async_checkpoint(runner: AsyncFederatedRunner,
         runner.inflight = set(state["inflight"])
         runner.queue = list(state["queue"])
         runner.buffer = list(state["buffer"])
-        runner._fp_registry = {(int(cid), int(fp)): int(jid)
-                               for cid, fp, jid in state["fp_registry"]}
+        from collections import OrderedDict
+        runner._fp_registry = OrderedDict(
+            ((int(cid), int(fp)), int(jid))
+            for cid, fp, jid in state["fp_registry"])
+        runner.dedup_evictions = int(state.get("dedup_evictions", 0))
         runner.counters = {k: int(v) for k, v in state["counters"].items()}
         runner.jobs = {}
         for jid_str, meta in state["jobs"].items():
@@ -250,6 +268,12 @@ def load_async_checkpoint(runner: AsyncFederatedRunner,
             update = None
             if meta["has_update"]:
                 update = decode_update(bytes(data[f"job.{jid}.update"]))
+                if runner._store is not None:
+                    # Store mode: park the update back on disk; the job
+                    # record itself stays payload-free.
+                    runner._store.put(f"job/{jid}",
+                                      bytes(data[f"job.{jid}.update"]))
+                    update = None
             runner.jobs[jid] = _Job(
                 job_id=jid, client_id=int(meta["client_id"]),
                 dispatch_step=int(meta["dispatch_step"]),

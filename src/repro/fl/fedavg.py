@@ -58,3 +58,8 @@ class FedAvg(FederatedAlgorithm):
         avg = weighted_average_states([u["state"] for u in updates],
                                       [u["n"] for u in updates])
         self.global_model.load_state_dict(avg)
+
+    def make_fold(self, spill, weighted: bool = False):
+        """O(model) streaming mean (bitwise-equal to :meth:`aggregate`)."""
+        from repro.fl.scale.fold import DictMeanFold
+        return DictMeanFold(self, spill, weighted=weighted)

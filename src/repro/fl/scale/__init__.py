@@ -1,0 +1,30 @@
+"""Population-scale federated simulation (DESIGN.md §13).
+
+Four pieces, composable with every algorithm and executor:
+
+- :class:`ClientStateStore` — sharded spill-to-disk KV store for
+  per-client persistent state;
+- :class:`VirtualClientPool` / :class:`VirtualClient` — lazily
+  materialized population over the store;
+- streaming folds (:mod:`repro.fl.scale.fold`) — O(model) incremental
+  aggregation, bitwise-equal to the batch path;
+- :class:`EdgeAggregator` + :class:`ScaleRunner` — hierarchical and
+  streaming round loops.
+"""
+
+from repro.fl.scale.fold import (DictMeanFold, SPATLFold, SpillReplayFold,
+                                 StreamingFold, UpdateSpill)
+from repro.fl.scale.hierarchy import EdgeAggregator, EdgePartial, fold_partials
+from repro.fl.scale.runner import ScaleRunner
+from repro.fl.scale.store import (ClientStateStore, decode_client_state,
+                                  encode_client_state)
+from repro.fl.scale.virtual import (ShardedClientFactory, StubClientFactory,
+                                    VirtualClient, VirtualClientPool)
+
+__all__ = [
+    "ClientStateStore", "encode_client_state", "decode_client_state",
+    "UpdateSpill", "StreamingFold", "DictMeanFold", "SPATLFold",
+    "SpillReplayFold", "VirtualClient", "VirtualClientPool",
+    "ShardedClientFactory", "StubClientFactory", "EdgeAggregator",
+    "EdgePartial", "fold_partials", "ScaleRunner",
+]

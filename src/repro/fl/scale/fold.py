@@ -1,0 +1,389 @@
+"""Streaming fold aggregation: commit each upload, then discard it.
+
+The batch server holds a full cohort of updates before aggregating —
+O(cohort · model) memory.  A :class:`StreamingFold` is an incremental
+accumulator with the same numerics: ``add(update)`` folds one upload in
+(spilling whatever a later reduction still needs to disk via
+:class:`UpdateSpill`) and ``finalize(round_idx)`` installs the result
+into the algorithm's global state.  Every fold is **bitwise-identical**
+to the batch ``aggregate`` / ``aggregate_weighted`` path it shadows —
+floating-point addition is not associative, so each fold replays the
+exact per-key / per-coordinate addition *order* of its batch
+counterpart, and golden tests plus a Hypothesis property suite gate the
+equivalence (DESIGN.md §13).
+
+Folds are obtained through ``FederatedAlgorithm.make_fold(spill,
+weighted=...)``:
+
+- :class:`DictMeanFold` — FedAvg-family ``weighted_average_states``
+  reductions (FedAvg, FedProx, StubAvg).  Dense states spill to disk;
+  only the example-count/weight pairs stay resident.
+- :class:`SPATLFold` — SPATL's Eq. 12 index-wise salient aggregation
+  with *running* coverage counts, eager Eq. 11 variate reconstruction,
+  and a spilled dense/predictor stream.  Server memory is O(model),
+  independent of cohort size.
+- :class:`SpillReplayFold` — lossless fallback for algorithms with
+  order-coupled aggregation geometry (SCAFFOLD, FedNova, FedTopK):
+  every update spills through the exact ``repro.fl.comm`` codec and the
+  batch path replays at finalize.  Peak memory returns to O(cohort) for
+  the duration of ``finalize`` only.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.fl.comm import decode_update, encode_update
+from repro.fl.wire import deserialize, serialize
+from repro.obs.metrics import get_registry
+
+_REC_HDR = struct.Struct("<Q")
+
+_EMPTY_MSG = ("aggregate() needs >= 1 surviving update; "
+              "skipped rounds must not reach aggregation")
+
+
+class UpdateSpill:
+    """Append-only length-prefixed blob log backing a fold's disk state."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = os.fspath(path)
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        self._file = open(self.path, "w+b")
+        self.n_records = 0
+        self.nbytes = 0
+
+    @classmethod
+    def attach(cls, path: str | os.PathLike, n_records: int,
+               nbytes: int) -> "UpdateSpill":
+        """Reopen an existing spill at a checkpointed position.
+
+        Truncates to ``nbytes`` so records appended after the snapshot
+        are discarded — resume is byte-identical.
+        """
+        spill = cls.__new__(cls)
+        spill.path = os.fspath(path)
+        spill._file = open(spill.path, "r+b")
+        spill._file.truncate(nbytes)
+        spill._file.seek(nbytes)
+        spill.n_records = int(n_records)
+        spill.nbytes = int(nbytes)
+        return spill
+
+    def append(self, blob: bytes) -> None:
+        self._file.write(_REC_HDR.pack(len(blob)))
+        self._file.write(blob)
+        self.n_records += 1
+        self.nbytes += _REC_HDR.size + len(blob)
+
+    def __iter__(self) -> Iterator[bytes]:
+        """Stream records back; safe to call while the file stays open."""
+        self._file.flush()
+        fd = self._file.fileno()
+        off = 0
+        for _ in range(self.n_records):
+            (blob_len,) = _REC_HDR.unpack(os.pread(fd, _REC_HDR.size, off))
+            yield os.pread(fd, blob_len, off + _REC_HDR.size)
+            off += _REC_HDR.size + blob_len
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def unlink(self) -> None:
+        self._file.close()
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
+
+class StreamingFold:
+    """Incremental aggregation accumulator (see module docstring).
+
+    ``snapshot()`` / ``restore()`` capture and reinstall the resident
+    accumulator state for mid-round checkpointing; the spill file is
+    checkpointed separately (path + record count + byte length) by
+    :mod:`repro.fl.checkpoint`.
+    """
+
+    def __init__(self, algorithm, spill: UpdateSpill, weighted: bool = False):
+        self.algo = algorithm
+        self.spill = spill
+        self.weighted = bool(weighted)
+        self.n_updates = 0
+        self._pairs: list[tuple[float, float]] = []  # (n, weight)
+
+    def _check_weight(self, weight: float) -> float:
+        weight = float(weight)
+        if self.weighted and weight <= 0.0:
+            raise ValueError("aggregation weights must be > 0")
+        return weight
+
+    def add(self, update: Any, weight: float = 1.0) -> None:
+        raise NotImplementedError
+
+    def finalize(self, round_idx: int) -> None:
+        raise NotImplementedError
+
+    # -- checkpointing -------------------------------------------------
+
+    def snapshot(self) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+        arrays = {"pairs": np.asarray(self._pairs, dtype=np.float64).reshape(
+            (self.n_updates, 2))}
+        meta = {"kind": type(self).__name__, "n_updates": self.n_updates,
+                "weighted": self.weighted}
+        return arrays, meta
+
+    def restore(self, arrays: dict[str, np.ndarray],
+                meta: dict[str, Any]) -> None:
+        if meta["kind"] != type(self).__name__:
+            raise ValueError(f"fold kind mismatch: checkpoint has "
+                             f"{meta['kind']!r}, algorithm builds "
+                             f"{type(self).__name__!r}")
+        self.weighted = bool(meta["weighted"])
+        self.n_updates = int(meta["n_updates"])
+        self._pairs = [(float(n), float(w)) for n, w in arrays["pairs"]]
+
+    def _final_weights(self) -> list[float]:
+        if self.weighted:
+            return [n * w for n, w in self._pairs]
+        return [n for n, _ in self._pairs]
+
+
+def _stream_weighted_average(records: Iterator[dict[str, np.ndarray]],
+                             weights: list[float]) -> dict[str, np.ndarray]:
+    """:func:`repro.fl.local.weighted_average_states`, record-streamed.
+
+    The batch reduction is key-outer / state-inner; streaming is forced
+    to be state-outer / key-inner.  Per key the *sequence* of additions
+    (normalized weight times state, in cohort order) is identical, so
+    the result is bitwise-equal; the output dict is built in the first
+    state's key order so downstream ``load_state_dict`` consumers see
+    the same key order too.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    w = w / w.sum()
+    out: dict[str, np.ndarray] = {}
+    acc: dict[str, np.ndarray] = {}
+    dtypes: dict[str, np.dtype] = {}
+    for i, state in enumerate(records):
+        if i == 0:
+            for key in state:
+                first = np.asarray(state[key])
+                if first.dtype.kind in "iu":
+                    out[key] = first.copy()
+                else:
+                    out[key] = None  # placeholder holding the key's slot
+                    acc[key] = np.zeros_like(first, dtype=np.float64)
+                    dtypes[key] = first.dtype
+        for key in acc:
+            acc[key] += w[i] * np.asarray(state[key], dtype=np.float64)
+    for key in acc:
+        out[key] = acc[key].astype(dtypes[key])
+    return out
+
+
+class DictMeanFold(StreamingFold):
+    """Streaming ``weighted_average_states`` over ``update["state"]``."""
+
+    def add(self, update: dict, weight: float = 1.0) -> None:
+        weight = self._check_weight(weight)
+        self.spill.append(serialize(update["state"]))
+        self._pairs.append((float(update["n"]), weight))
+        self.n_updates += 1
+
+    def finalize(self, round_idx: int) -> None:
+        if not self.n_updates:
+            raise ValueError(_EMPTY_MSG)
+        records = (deserialize(blob, copy=False) for blob in self.spill)
+        avg = _stream_weighted_average(records, self._final_weights())
+        self.algo.global_model.load_state_dict(avg)
+        get_registry().counter("scale.folds",
+                               algorithm=self.algo.name).inc()
+
+
+class SPATLFold(StreamingFold):
+    """Streaming SPATL aggregation: Eq. 12 + dense mean + Eq. 11.
+
+    Resident state per prunable layer: the frozen float64 snapshot of
+    the global weight (Eq. 12's diffs are all taken against the
+    *pre-round* global, so it is captured at construction), the running
+    scatter-add accumulator, and running coverage counts (integer when
+    unweighted — exactly mergeable — float64 sequential adds when
+    weighted, matching ``np.bincount(..., weights=...)`` order).  Eq. 11
+    variate deltas accumulate eagerly per upload in the same per-name
+    order as the batch loop.  Dense tensors and shared-predictor states
+    spill to disk and stream through the weighted average at finalize.
+    """
+
+    def __init__(self, algorithm, spill: UpdateSpill, weighted: bool = False):
+        super().__init__(algorithm, spill, weighted)
+        algo = algorithm
+        self._params = dict(algo.global_model.encoder.named_parameters())
+        self._out: dict[str, np.ndarray] = {}
+        self._acc: dict[str, np.ndarray] = {}
+        self._counts: dict[str, np.ndarray] = {}
+        self._row_width: dict[str, int] = {}
+        for layer in algo.prunable:
+            key = layer + ".weight"
+            out = np.array(self._params[key].data, dtype=np.float64)
+            self._out[layer] = out
+            self._acc[layer] = np.zeros_like(out)
+            self._counts[layer] = np.zeros(
+                out.shape[0], dtype=np.float64 if weighted else np.int64)
+            width = 1
+            for dim in out.shape[1:]:
+                width *= int(dim)
+            self._row_width[layer] = width
+        self._c_acc: dict[str, np.ndarray] = {}
+        if algo.use_gradient_control:
+            for name, c_val in algo.c_global.values.items():
+                self._c_acc[name] = np.zeros_like(c_val, dtype=np.float64)
+
+    def add(self, update: dict, weight: float = 1.0) -> None:
+        weight = self._check_weight(weight)
+        algo = self.algo
+
+        # --- Eq. 12: one upload's contribution per prunable layer ------
+        for layer in algo.prunable:
+            out = self._out[layer]
+            acc = self._acc[layer]
+            indices, rows = update["salient"][layer]
+            indices = np.asarray(indices, dtype=np.int64)
+            rows = np.asarray(rows)
+            if rows.shape[0] != len(indices):
+                raise ValueError("upload rows/indices mismatch")
+            if len(indices) and (indices.min() < 0
+                                 or indices.max() >= out.shape[0]):
+                raise IndexError("salient index out of range")
+            diff = rows.astype(np.float64) - out[indices]
+            if self.weighted:
+                diff = weight * diff
+                np.add.at(self._counts[layer], indices.ravel(), weight)
+            else:
+                self._counts[layer] += np.bincount(indices.ravel(),
+                                                   minlength=out.shape[0])
+            if (self._row_width[layer] >= 8
+                    and indices.size == np.unique(indices).size):
+                acc[indices] += diff
+            else:
+                np.add.at(acc, indices, diff)
+
+        # --- Eq. 11: eager variate-delta accumulation ------------------
+        if algo.use_gradient_control:
+            for name, c_val in algo.c_global.values.items():
+                acc = self._c_acc[name]
+                layer = name[:-len(".weight")] if name.endswith(".weight") \
+                    else None
+                before = update["before"][name]
+                if layer in update["salient"]:
+                    idx, rows = update["salient"][layer]
+                    idx = np.asarray(idx, dtype=np.int64)
+                    delta = -c_val[idx] + (before[idx] - rows) / (
+                        update["eff_steps"] * algo.lr)
+                    acc[idx] += weight * delta if self.weighted else delta
+                elif name in update["dense"]:
+                    delta = -c_val + (before - update["dense"][name]) / (
+                        update["eff_steps"] * algo.lr)
+                    acc += weight * delta if self.weighted else delta
+
+        # --- dense + shared predictor spill for the finalize stream ----
+        self.spill.append(encode_update({"dense": update["dense"],
+                                         "pred": update["predictor_state"]}))
+        self._pairs.append((float(update["n"]), weight))
+        self.n_updates += 1
+
+    def finalize(self, round_idx: int) -> None:
+        if not self.n_updates:
+            raise ValueError(_EMPTY_MSG)
+        algo = self.algo
+
+        # --- Eq. 12: apply covered-coordinate means --------------------
+        for layer in algo.prunable:
+            out = self._out[layer]
+            counts = self._counts[layer]
+            covered = counts > 0
+            if covered.any():
+                denom = counts[covered].reshape((-1,) + (1,) * (out.ndim - 1))
+                out[covered] += (algo.aggregation_step
+                                 * self._acc[layer][covered] / denom)
+            param = self._params[layer + ".weight"]
+            param.data[...] = out.astype(param.data.dtype)
+
+        # --- dense tensors (and shared predictor) ----------------------
+        weights = self._final_weights()
+        dense_avg = _stream_weighted_average(
+            (decode_update(blob)["dense"] for blob in self.spill), weights)
+        dense_param_keys = [k for k in dense_avg if k in self._params]
+        for key in dense_param_keys:
+            self._params[key].data[...] = dense_avg[key]
+        owners = algo.global_model.encoder._buffer_owners()
+        for key, (owner, local) in owners.items():
+            if key in dense_avg:
+                owner.set_buffer(local, dense_avg[key])
+        if not algo.use_transfer:
+            pred_avg = _stream_weighted_average(
+                (decode_update(blob)["pred"] for blob in self.spill), weights)
+            algo.global_model.load_predictor_state(pred_avg)
+
+        # --- Eq. 11: c += sum(delta c_i) / N ---------------------------
+        if algo.use_gradient_control:
+            n_all = len(algo.clients)
+            for name, c_val in algo.c_global.values.items():
+                algo.c_global.values[name] = (
+                    c_val + self._c_acc[name] / n_all).astype(c_val.dtype)
+        get_registry().counter("scale.folds", algorithm=algo.name).inc()
+
+    # -- checkpointing -------------------------------------------------
+
+    def snapshot(self) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+        arrays, meta = super().snapshot()
+        for layer in self.algo.prunable:
+            arrays[f"acc.{layer}"] = self._acc[layer]
+            arrays[f"counts.{layer}"] = self._counts[layer]
+        for name, acc in self._c_acc.items():
+            arrays[f"cacc.{name}"] = acc
+        return arrays, meta
+
+    def restore(self, arrays: dict[str, np.ndarray],
+                meta: dict[str, Any]) -> None:
+        super().restore(arrays, meta)
+        for layer in self.algo.prunable:
+            self._acc[layer] = np.array(arrays[f"acc.{layer}"])
+            counts = np.array(arrays[f"counts.{layer}"])
+            self._counts[layer] = counts.astype(
+                np.float64 if self.weighted else np.int64)
+        for name in list(self._c_acc):
+            self._c_acc[name] = np.array(arrays[f"cacc.{name}"])
+
+
+class SpillReplayFold(StreamingFold):
+    """Lossless spill-then-replay fallback for order-coupled aggregation.
+
+    Every update passes through the exact :func:`encode_update` /
+    :func:`decode_update` codec (golden-tested lossless), so the batch
+    ``aggregate`` replay at finalize is bitwise-identical to never
+    having spilled.  Memory is O(cohort) only inside ``finalize``.
+    """
+
+    def add(self, update: Any, weight: float = 1.0) -> None:
+        weight = self._check_weight(weight)
+        self.spill.append(encode_update(update))
+        self._pairs.append((0.0, weight))
+        self.n_updates += 1
+
+    def finalize(self, round_idx: int) -> None:
+        if not self.n_updates:
+            raise ValueError(_EMPTY_MSG)
+        updates = [decode_update(blob) for blob in self.spill]
+        if self.weighted:
+            self.algo.aggregate_weighted(
+                updates, [w for _, w in self._pairs], round_idx)
+        else:
+            self.algo.aggregate(updates, round_idx)
+        get_registry().counter("scale.folds",
+                               algorithm=self.algo.name).inc()

@@ -1,0 +1,84 @@
+"""Hierarchical aggregation: edge aggregators between clients and root.
+
+Topology (DESIGN.md §13): the sampled cohort is split into ``edges``
+contiguous slices; each :class:`EdgeAggregator` runs its slice's
+exchanges (through the algorithm's configured round executor, so edges
+compose with :class:`~repro.fl.parallel.ProcessPoolRoundExecutor`),
+consolidates the slice's uploads into **one** spill artifact — the
+merged partial a real edge node would ship upstream — and evicts its
+clients.  The root then folds the partials *in edge order* into a
+single :class:`~repro.fl.scale.fold.StreamingFold`.
+
+Byte-identity argument: contiguous slices in cohort order, replayed in
+edge order, reconstruct exactly the original cohort order of updates;
+each update crosses the edge→root hop through the lossless
+``repro.fl.comm`` codec (the same one the parallel engine ships updates
+through), so the root's fold sees bit-identical inputs in an identical
+sequence.  Floating-point partials are *not* merged across edges — FP
+addition is non-associative, and the repo's acceptance gate is bitwise
+equality with the materialized baseline.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.fl.comm import encode_update
+from repro.fl.scale.fold import StreamingFold, UpdateSpill
+from repro.obs.metrics import get_registry
+
+
+@dataclass
+class EdgePartial:
+    """One edge's merged partial: a consolidated upload stream."""
+
+    edge_idx: int
+    spill: UpdateSpill
+    client_ids: list[int] = field(default_factory=list)
+    losses: list[float] = field(default_factory=list)
+    n_updates: int = 0
+
+
+class EdgeAggregator:
+    """Folds one sub-cohort into a single shippable partial."""
+
+    def __init__(self, edge_idx: int, spill_dir: str | os.PathLike):
+        self.edge_idx = edge_idx
+        self.spill_dir = os.fspath(spill_dir)
+
+    def process(self, algorithm, cohort, round_idx: int, stats,
+                pool=None, wave: int = 1) -> EdgePartial:
+        """Run the slice's exchanges; return the consolidated partial.
+
+        ``wave`` bounds how many clients are in flight between spills —
+        the edge's resident memory is O(wave · update), never
+        O(slice · update).  Evicted clients return to the pool's store.
+        """
+        spill = UpdateSpill(os.path.join(
+            self.spill_dir, f"edge_{self.edge_idx:03d}_r{round_idx}.spill"))
+        partial = EdgePartial(self.edge_idx, spill)
+        wave = max(1, int(wave))
+        for lo in range(0, len(cohort), wave):
+            chunk = cohort[lo:lo + wave]
+            updates, losses = algorithm.executor.collect(
+                algorithm, chunk, round_idx, 0, stats)
+            for update in updates:
+                spill.append(encode_update(update))
+            partial.losses.extend(losses)
+            partial.client_ids.extend(c.client_id for c in chunk)
+            partial.n_updates += len(updates)
+            if pool is not None:
+                for client in chunk:
+                    pool.evict(client.client_id)
+        get_registry().counter("scale.edge_partials").inc()
+        return partial
+
+
+def fold_partials(fold: StreamingFold, partials: list[EdgePartial]) -> None:
+    """Replay edge partials into the root fold, in edge order."""
+    from repro.fl.comm import decode_update
+    for partial in partials:
+        for blob in partial.spill:
+            fold.add(decode_update(blob, copy=False))
+        partial.spill.unlink()

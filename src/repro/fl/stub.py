@@ -78,6 +78,11 @@ class StubAvg(FederatedAlgorithm):
         self.global_model.load_state_dict(weighted_average_states(
             [u["state"] for u in updates], [u["n"] for u in updates]))
 
+    def make_fold(self, spill, weighted: bool = False):
+        """O(model) streaming mean (bitwise-equal to :meth:`aggregate`)."""
+        from repro.fl.scale.fold import DictMeanFold
+        return DictMeanFold(self, spill, weighted=weighted)
+
 
 def make_stub(n_clients: int = 8, dim: int = 64, seed: int = 0,
               **kwargs) -> StubAvg:

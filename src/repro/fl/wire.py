@@ -42,11 +42,13 @@ from __future__ import annotations
 
 import struct
 import zlib
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 from repro.tensor import workspace
 
@@ -380,19 +382,34 @@ class BroadcastCache:
 
     Instances are picklable but ship cold (the cached blob is dropped),
     so worker replicas re-encode once rather than inflating task pickles.
+
+    The entry map is LRU-bounded at ``max_entries`` channels (blobs are
+    full model encodings — an unbounded channel set would hoard O(model)
+    each, at odds with the population-scale O(model) memory budget;
+    DESIGN.md §13).  Evictions land in ``evictions`` and the
+    ``wire.broadcast_evictions`` metrics counter.
     """
 
-    def __init__(self):
-        self._entries: dict[tuple[str, bool], _CacheEntry] = {}
+    def __init__(self, max_entries: int = 8):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[tuple[str, bool], _CacheEntry] = \
+            OrderedDict()
         self.hits = 0           # token matched: no hash, no encode
         self.content_hits = 0   # token moved but fingerprint matched
         self.misses = 0         # fresh encode
+        self.evictions = 0      # LRU-evicted channel entries
 
     def __getstate__(self):
-        return True  # replicas start cold
+        return {"max_entries": self.max_entries}  # replicas start cold
 
-    def __setstate__(self, _state):
-        self.__init__()
+    def __setstate__(self, state):
+        # Accept the legacy cold marker (pre-bounded pickles stored True).
+        if isinstance(state, dict):
+            self.__init__(max_entries=state.get("max_entries", 8))
+        else:
+            self.__init__()
 
     def encode(self, state: dict[str, np.ndarray], *, token: Any,
                channel: str = "down", checksums: bool = False) -> bytes:
@@ -400,6 +417,8 @@ class BroadcastCache:
         key = (channel, checksums)
         entry = self._entries.get(key)
         cached = True
+        if entry is not None:
+            self._entries.move_to_end(key)
         if entry is not None and entry.token == token \
                 and entry.entries == len(state):
             self.hits += 1
@@ -418,6 +437,11 @@ class BroadcastCache:
                                                  fingerprint=fingerprint,
                                                  blob=blob,
                                                  entries=len(state))
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+                    get_registry().counter(
+                        "wire.broadcast_evictions").inc()
         tracer = get_tracer()
         if tracer.enabled:
             with tracer.span("serialize", checksums=checksums) as span:

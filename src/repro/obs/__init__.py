@@ -29,7 +29,8 @@ counters, span counts, and codec byte totals as the serial run.
 from repro.obs.trace import (NULL_SPAN, NullTracer, Span, Tracer, get_tracer,
                              set_tracer, tracing)
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
-                               get_registry, set_registry)
+                               get_registry, observe_peak_rss,
+                               peak_rss_bytes, set_registry)
 from repro.obs.profiler import OpProfiler, OpStat
 from repro.obs.report import (codec_byte_totals, hotspot_table,
                               round_timeline_table, span_attr_total,
@@ -38,7 +39,8 @@ from repro.obs.report import (codec_byte_totals, hotspot_table,
 __all__ = [
     "Span", "Tracer", "NullTracer", "NULL_SPAN", "get_tracer", "set_tracer",
     "tracing", "Counter", "Gauge", "Histogram", "MetricsRegistry",
-    "get_registry", "set_registry", "OpProfiler", "OpStat", "hotspot_table",
+    "get_registry", "set_registry", "peak_rss_bytes", "observe_peak_rss",
+    "OpProfiler", "OpStat", "hotspot_table",
     "round_timeline_table", "span_attr_total", "span_total_seconds",
     "codec_byte_totals",
 ]

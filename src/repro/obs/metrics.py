@@ -192,6 +192,45 @@ class MetricsRegistry:
         self._histograms.clear()
 
 
+def peak_rss_bytes() -> int:
+    """This process's lifetime peak resident set size, in bytes.
+
+    Prefers ``VmHWM`` from ``/proc/self/status`` (Linux): unlike
+    ``ru_maxrss``, it belongs to the current address space and so resets
+    on ``exec`` — a freshly spawned subprocess reports *its own* peak,
+    not the high-water mark inherited from a large parent.  Falls back
+    to ``resource.getrusage(RUSAGE_SELF).ru_maxrss`` (kilobytes on
+    Linux, bytes on macOS) and returns 0 where neither exists (Windows),
+    so callers can report it unconditionally.  The value is still a
+    high-water mark over the process lifetime: per-phase measurements
+    need subprocess isolation (see ``benchmarks/bench_scale.py``).
+    """
+    try:
+        with open("/proc/self/status") as status:
+            for line in status:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):  # pragma: no cover
+        pass
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    import sys
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return int(peak)
+    return int(peak) * 1024
+
+
+def observe_peak_rss(registry: "MetricsRegistry | None" = None) -> int:
+    """Record :func:`peak_rss_bytes` into the ``proc.peak_rss_bytes``
+    gauge (default registry unless one is given); returns the value."""
+    peak = peak_rss_bytes()
+    (registry or get_registry()).gauge("proc.peak_rss_bytes").set(peak)
+    return peak
+
+
 _registry = MetricsRegistry()
 
 

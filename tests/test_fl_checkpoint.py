@@ -246,6 +246,114 @@ class TestMidRoundCrashResume:
         assert resumed.fault_stats == ref.fault_stats
 
 
+class TestScaleMidRoundCheckpoint:
+    """Population-scale mid-round snapshots (DESIGN.md §13): a partial
+    round — fold accumulators, spill position, client-store manifest —
+    resumes in a fresh runner byte-identical to the uninterrupted run."""
+
+    def _pool(self, tiny_dataset, tiny_setting, root):
+        from repro.fl import (ClientStateStore, ShardedClientFactory,
+                              VirtualClientPool)
+        _, parts = tiny_setting
+        factory = ShardedClientFactory(dataset=tiny_dataset, parts=parts,
+                                       batch_size=32, seed=5)
+        return VirtualClientPool(factory, len(parts),
+                                 ClientStateStore(root))
+
+    def _final(self, algo):
+        return (serialize_state(dict(algo.global_model.state_dict())),
+                algo.ledger.total_bytes())
+
+    def test_fedavg_with_pool_resumes_byte_identical(
+            self, tmp_path, tiny_dataset, tiny_setting):
+        from repro.fl import ScaleRunner
+        model_fn, _ = tiny_setting
+
+        # uninterrupted reference: 2 full streaming rounds
+        ref_pool = self._pool(tiny_dataset, tiny_setting, tmp_path / "ref")
+        ref = FedAvg(model_fn, ref_pool.clients(), lr=0.05, local_epochs=1,
+                     seed=0, sample_ratio=1.0)
+        ScaleRunner(ref, pool=ref_pool,
+                    spill_dir=tmp_path / "ref_spills").run(2)
+
+        # interrupted: round 0, then half of round 1's cohort, snapshot
+        store_root = tmp_path / "store"
+        pool = self._pool(tiny_dataset, tiny_setting, store_root)
+        doomed = FedAvg(model_fn, pool.clients(), lr=0.05, local_epochs=1,
+                        seed=0, sample_ratio=1.0)
+        runner = ScaleRunner(doomed, pool=pool,
+                             spill_dir=tmp_path / "spills")
+        runner.run_round(0)
+        runner.run_round_partial(1, 2)
+        path = tmp_path / "scale.npz"
+        runner.save_round_checkpoint(path)
+
+        # fresh process: same store root, fresh pool/algorithm/runner
+        pool2 = self._pool(tiny_dataset, tiny_setting, store_root)
+        resumed_algo = FedAvg(model_fn, pool2.clients(), lr=0.05,
+                              local_epochs=1, seed=0, sample_ratio=1.0)
+        resumed = ScaleRunner(resumed_algo, pool=pool2,
+                              spill_dir=tmp_path / "spills")
+        resumed.load_round_checkpoint(path)
+        result = resumed.resume_round()
+        assert result.round_idx == 1
+        assert self._final(resumed_algo) == self._final(ref)
+
+    def test_spatl_materialized_resumes_byte_identical(
+            self, tmp_path, tiny_dataset, tiny_setting):
+        from repro.fl import ScaleRunner
+        model_fn, _ = tiny_setting
+
+        def fresh():
+            return SPATL(model_fn, _clients(tiny_dataset, tiny_setting),
+                         selection_policy=StaticSaliencyPolicy(0.3),
+                         lr=0.05, local_epochs=1, seed=0, sample_ratio=1.0)
+
+        ref = fresh()
+        ScaleRunner(ref, spill_dir=tmp_path / "ref_spills").run(2)
+
+        doomed = fresh()
+        runner = ScaleRunner(doomed, spill_dir=tmp_path / "spills")
+        runner.run_round(0)
+        runner.run_round_partial(1, 2)
+        path = tmp_path / "scale_spatl.npz"
+        runner.save_round_checkpoint(path)
+
+        resumed_algo = fresh()
+        resumed = ScaleRunner(resumed_algo, spill_dir=tmp_path / "spills")
+        resumed.load_round_checkpoint(path)
+        resumed.resume_round()
+        assert self._final(resumed_algo) == self._final(ref)
+        for name in ref.c_global.names():
+            np.testing.assert_array_equal(resumed_algo.c_global[name],
+                                          ref.c_global[name], err_msg=name)
+
+    def test_resume_without_pending_rejected(self, tmp_path, tiny_dataset,
+                                             tiny_setting):
+        from repro.fl import ScaleRunner
+        model_fn, _ = tiny_setting
+        algo = FedAvg(model_fn, _clients(tiny_dataset, tiny_setting),
+                      lr=0.05, local_epochs=1, seed=0)
+        runner = ScaleRunner(algo, spill_dir=tmp_path / "spills")
+        with pytest.raises(RuntimeError):
+            runner.resume_round()
+        with pytest.raises(RuntimeError):
+            runner.save_round_checkpoint(tmp_path / "none.npz")
+
+    def test_sync_checkpoint_rejected_by_scale_loader(
+            self, tmp_path, tiny_dataset, tiny_setting):
+        from repro.fl import ScaleRunner
+        model_fn, _ = tiny_setting
+        algo = FedAvg(model_fn, _clients(tiny_dataset, tiny_setting),
+                      lr=0.05, local_epochs=1, seed=0)
+        algo.run(rounds=1)
+        path = tmp_path / "sync.npz"
+        save_checkpoint(algo, path)
+        runner = ScaleRunner(algo, spill_dir=tmp_path / "spills")
+        with pytest.raises(ValueError, match="scale"):
+            runner.load_round_checkpoint(path)
+
+
 HOSTILE = dict(jitter=0.3, straggler_prob=0.4, slowdown=6.0,
                arrival_spread=1.0, churn_prob=0.15, crash_prob=0.1,
                duplicate_prob=0.25)

@@ -1,0 +1,429 @@
+"""Tests for the population-scale subsystem (``repro.fl.scale``).
+
+Covers the spill-to-disk client-state store, virtual-client pool,
+streaming folds, and the golden byte-identity contract: a ScaleRunner
+round — streaming, hierarchical, virtual-pooled, or process-pooled — is
+bitwise-equal to the materialized baseline ``run_round``.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import SPATL, StaticSaliencyPolicy
+from repro.core.gradient_control import ControlVariate
+from repro.fl import (AsyncConfig, AsyncFederatedRunner, AsyncProfile,
+                      BroadcastCache, ClientStateStore, FedAvg, Scaffold,
+                      ScaleRunner, ShardedClientFactory, StubClientFactory,
+                      UpdateSpill, VirtualClientPool, make_executor,
+                      make_federated_clients, serialize_state,
+                      state_fingerprint)
+from repro.fl.scale import (SpillReplayFold, decode_client_state,
+                            encode_client_state)
+from repro.fl.stub import make_stub
+
+
+def _clients(tiny_dataset, tiny_setting):
+    _, parts = tiny_setting
+    return make_federated_clients(tiny_dataset, parts, batch_size=32, seed=5)
+
+
+def _virtual_pool(tiny_dataset, tiny_setting, store, resident_limit=64):
+    """Pool producing byte-identical clients to :func:`_clients`."""
+    _, parts = tiny_setting
+    factory = ShardedClientFactory(dataset=tiny_dataset, parts=parts,
+                                   batch_size=32, seed=5)
+    return VirtualClientPool(factory, len(parts), store,
+                             resident_limit=resident_limit)
+
+
+# ---------------------------------------------------------------- store
+
+class TestClientStateStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ClientStateStore(tmp_path / "s", shards=3)
+        blobs = {f"client/{i}": bytes([i]) * (10 + i) for i in range(20)}
+        for key, blob in blobs.items():
+            store.put(key, blob)
+        assert len(store) == 20
+        for key, blob in blobs.items():
+            assert store.get(key) == blob
+            assert key in store
+        assert store.get("client/999") is None
+        assert "client/999" not in store
+
+    def test_overwrite_and_delete(self, tmp_path):
+        store = ClientStateStore(tmp_path / "s")
+        store.put("k", b"old")
+        store.put("k", b"new-value")
+        assert store.get("k") == b"new-value"
+        assert len(store) == 1
+        store.delete("k")
+        assert store.get("k") is None
+        store.delete("k")  # missing_ok by default
+        with pytest.raises(KeyError):
+            store.delete("k", missing_ok=False)
+
+    def test_reopen_rebuilds_index(self, tmp_path):
+        store = ClientStateStore(tmp_path / "s", shards=2)
+        store.put("a", b"first")
+        store.put("b", b"second")
+        store.put("a", b"rewritten")  # later record must win on replay
+        store.close()
+        reopened = ClientStateStore(tmp_path / "s", shards=2)
+        assert reopened.get("a") == b"rewritten"
+        assert reopened.get("b") == b"second"
+        assert len(reopened) == 2
+
+    def test_compaction_keeps_live_records(self, tmp_path):
+        store = ClientStateStore(tmp_path / "s", shards=1,
+                                 auto_compact=False)
+        for i in range(50):
+            store.put("hot", bytes([i]) * 100)   # 49 dead records
+        store.put("cold", b"keep-me")
+        before = store.nbytes
+        store.compact()
+        assert store.nbytes < before
+        assert store.get("hot") == bytes([49]) * 100
+        assert store.get("cold") == b"keep-me"
+
+    def test_manifest_attach_truncates_later_writes(self, tmp_path):
+        store = ClientStateStore(tmp_path / "s", shards=2)
+        store.put("kept", b"before-snapshot")
+        manifest = store.snapshot_manifest()
+        store.put("lost", b"after-snapshot")
+        store.put("kept", b"mutated-after-snapshot")
+        store.close()
+        restored = ClientStateStore.attach(tmp_path / "s", manifest)
+        assert restored.get("kept") == b"before-snapshot"
+        assert restored.get("lost") is None
+        assert len(restored) == 1
+
+    def test_pickled_replica_is_frozen(self, tmp_path):
+        store = ClientStateStore(tmp_path / "s")
+        store.put("k", b"value")
+        replica = pickle.loads(pickle.dumps(store))
+        assert replica.frozen
+        assert replica.get("k") == b"value"
+        with pytest.raises(RuntimeError):
+            replica.put("k", b"nope")
+        with pytest.raises(RuntimeError):
+            replica.delete("k")
+        # the parent is untouched and still writable
+        store.put("k2", b"still-writable")
+        assert store.get("k2") == b"still-writable"
+
+
+class TestClientStateCodec:
+    def test_roundtrip_with_control_variate(self):
+        cv = ControlVariate({})
+        cv.values = {"w": np.arange(6, dtype=np.float32).reshape(2, 3)}
+        state = {"c_i": cv,
+                 "predictor": {"fc.weight": np.ones((2, 2), np.float32)},
+                 "nested": [{"a": np.float64(1.5)}, (np.int64(3),)]}
+        back = decode_client_state(encode_client_state(state))
+        assert isinstance(back["c_i"], ControlVariate)
+        np.testing.assert_array_equal(back["c_i"].values["w"], cv.values["w"])
+        np.testing.assert_array_equal(back["predictor"]["fc.weight"],
+                                      state["predictor"]["fc.weight"])
+        assert isinstance(back["nested"], list)
+        assert isinstance(back["nested"][1], tuple)
+
+
+# ---------------------------------------------------------------- spill
+
+class TestUpdateSpill:
+    def test_append_iter_roundtrip(self, tmp_path):
+        spill = UpdateSpill(tmp_path / "u.spill")
+        blobs = [bytes([i]) * (i + 1) for i in range(7)]
+        for blob in blobs:
+            spill.append(blob)
+        assert list(spill) == blobs
+        assert list(spill) == blobs  # re-iterable (pread, no shared offset)
+        assert spill.n_records == 7
+
+    def test_attach_truncates(self, tmp_path):
+        spill = UpdateSpill(tmp_path / "u.spill")
+        spill.append(b"one")
+        spill.append(b"two")
+        n_records, nbytes = spill.n_records, spill.nbytes
+        spill.append(b"post-snapshot")
+        spill.flush()
+        reattached = UpdateSpill.attach(tmp_path / "u.spill", n_records,
+                                        nbytes)
+        assert list(reattached) == [b"one", b"two"]
+        reattached.append(b"three")
+        assert list(reattached) == [b"one", b"two", b"three"]
+
+
+# ----------------------------------------------------------- virtual pool
+
+class TestVirtualClientPool:
+    def test_factory_matches_eager_clients(self, tmp_path, tiny_dataset,
+                                           tiny_setting):
+        eager = _clients(tiny_dataset, tiny_setting)
+        _, parts = tiny_setting
+        factory = ShardedClientFactory(dataset=tiny_dataset, parts=parts,
+                                       batch_size=32, seed=5)
+        for cid, ref in enumerate(eager):
+            built = factory(cid)
+            assert built.client_id == ref.client_id
+            assert built.seed == ref.seed
+            np.testing.assert_array_equal(built.train_data.x,
+                                          ref.train_data.x)
+            np.testing.assert_array_equal(built.val_data.y, ref.val_data.y)
+
+    def test_lru_bound_and_state_survival(self, tmp_path):
+        store = ClientStateStore(tmp_path / "s")
+        pool = VirtualClientPool(StubClientFactory(), 10, store,
+                                 resident_limit=2)
+        clients = pool.clients()
+        clients[0].local_state["x"] = {"v": np.float64(7.0)}
+        for c in clients[1:]:  # churn client 0 out of residency
+            c.local_state
+        assert pool.resident <= 2
+        assert "client/0" in store
+        assert clients[0].local_state["x"]["v"] == 7.0  # hydrated back
+
+    def test_stateless_population_keeps_store_empty(self, tmp_path):
+        store = ClientStateStore(tmp_path / "s")
+        pool = VirtualClientPool(StubClientFactory(), 100, store,
+                                 resident_limit=4)
+        for c in pool.clients():
+            c.client_id, c.local_state  # touch every member
+        assert pool.resident <= 4
+        assert len(store) == 0          # O(stateful clients), not O(pop)
+        assert store.nbytes == 0
+
+    def test_proxy_pickles_as_proxy(self, tmp_path):
+        store = ClientStateStore(tmp_path / "s")
+        pool = VirtualClientPool(StubClientFactory(), 4, store)
+        proxy = pool.clients()[2]
+        proxy.local_state["k"] = {"v": np.float64(1.0)}
+        clone = pickle.loads(pickle.dumps(proxy))
+        assert clone.client_id == 2
+        assert clone._pool.store.frozen  # replica pool rides a frozen store
+
+
+# ------------------------------------------------------- golden identity
+
+def _final_state(algo):
+    return serialize_state(dict(algo.global_model.state_dict()))
+
+
+class TestGoldenIdentity:
+    """Streaming / hierarchical / virtual rounds == materialized baseline."""
+
+    ROUNDS = 2
+
+    def _baseline(self, cls, tiny_dataset, tiny_setting, **kw):
+        model_fn, _ = tiny_setting
+        algo = cls(model_fn, _clients(tiny_dataset, tiny_setting),
+                   lr=0.05, local_epochs=1, seed=0, sample_ratio=0.7, **kw)
+        log = algo.run(rounds=self.ROUNDS)
+        return algo, log
+
+    def _scale_run(self, cls, tiny_dataset, tiny_setting, tmp_path, *,
+                   edges=1, virtual=False, **kw):
+        model_fn, _ = tiny_setting
+        if virtual:
+            store = ClientStateStore(tmp_path / "store")
+            pool = _virtual_pool(tiny_dataset, tiny_setting, store)
+            clients = pool.clients()
+        else:
+            pool = None
+            clients = _clients(tiny_dataset, tiny_setting)
+        algo = cls(model_fn, clients, lr=0.05, local_epochs=1, seed=0,
+                   sample_ratio=0.7, **kw)
+        runner = ScaleRunner(algo, pool=pool, edges=edges,
+                             spill_dir=tmp_path / "spills")
+        results = runner.run(self.ROUNDS)
+        return algo, results
+
+    def _assert_match(self, base, base_log, algo, results):
+        assert _final_state(algo) == _final_state(base)
+        assert algo.ledger.total_bytes() == base.ledger.total_bytes()
+        np.testing.assert_array_equal(results[-1].avg_val_acc,
+                                      base_log["val_acc"][-1])
+
+    @pytest.mark.parametrize("edges", [1, 2])
+    def test_fedavg(self, tmp_path, tiny_dataset, tiny_setting, edges):
+        base, base_log = self._baseline(FedAvg, tiny_dataset, tiny_setting)
+        algo, results = self._scale_run(FedAvg, tiny_dataset, tiny_setting,
+                                        tmp_path, edges=edges)
+        self._assert_match(base, base_log, algo, results)
+
+    @pytest.mark.parametrize("edges", [1, 2])
+    def test_spatl(self, tmp_path, tiny_dataset, tiny_setting, edges):
+        kw = dict(selection_policy=StaticSaliencyPolicy(0.3))
+        base, base_log = self._baseline(SPATL, tiny_dataset, tiny_setting,
+                                        **kw)
+        kw = dict(selection_policy=StaticSaliencyPolicy(0.3))
+        algo, results = self._scale_run(SPATL, tiny_dataset, tiny_setting,
+                                        tmp_path, edges=edges, **kw)
+        self._assert_match(base, base_log, algo, results)
+        for name in base.c_global.names():
+            np.testing.assert_array_equal(algo.c_global[name],
+                                          base.c_global[name], err_msg=name)
+
+    def test_fedavg_virtual_pool(self, tmp_path, tiny_dataset, tiny_setting):
+        base, base_log = self._baseline(FedAvg, tiny_dataset, tiny_setting)
+        algo, results = self._scale_run(FedAvg, tiny_dataset, tiny_setting,
+                                        tmp_path, virtual=True)
+        self._assert_match(base, base_log, algo, results)
+
+    def test_spatl_virtual_pool(self, tmp_path, tiny_dataset, tiny_setting):
+        """Virtual clients must hydrate predictors/variates losslessly."""
+        base, base_log = self._baseline(
+            SPATL, tiny_dataset, tiny_setting,
+            selection_policy=StaticSaliencyPolicy(0.3))
+        algo, results = self._scale_run(
+            SPATL, tiny_dataset, tiny_setting, tmp_path, virtual=True,
+            selection_policy=StaticSaliencyPolicy(0.3))
+        self._assert_match(base, base_log, algo, results)
+
+    def test_scaffold_spill_replay(self, tmp_path, tiny_dataset,
+                                   tiny_setting):
+        """Order-coupled aggregation rides the lossless replay fold."""
+        base, base_log = self._baseline(Scaffold, tiny_dataset, tiny_setting)
+        algo, results = self._scale_run(Scaffold, tiny_dataset, tiny_setting,
+                                        tmp_path)
+        assert isinstance(algo.make_fold(UpdateSpill(tmp_path / "probe")),
+                          SpillReplayFold)
+        self._assert_match(base, base_log, algo, results)
+        for name, v in base.c_global.items():
+            np.testing.assert_array_equal(algo.c_global[name], v,
+                                          err_msg=name)
+
+    def test_process_pool_composition(self, tmp_path, tiny_dataset,
+                                      tiny_setting):
+        """Virtual pool + hierarchy over the process-pool executor."""
+        base, base_log = self._baseline(FedAvg, tiny_dataset, tiny_setting)
+        model_fn, _ = tiny_setting
+        store = ClientStateStore(tmp_path / "store")
+        pool = _virtual_pool(tiny_dataset, tiny_setting, store)
+        algo = FedAvg(model_fn, pool.clients(), lr=0.05, local_epochs=1,
+                      seed=0, sample_ratio=0.7, executor=make_executor(2))
+        try:
+            runner = ScaleRunner(algo, pool=pool, edges=2,
+                                 spill_dir=tmp_path / "spills")
+            results = runner.run(self.ROUNDS)
+        finally:
+            algo.close()
+        self._assert_match(base, base_log, algo, results)
+
+    def test_empty_round_rejected(self, tmp_path):
+        algo = make_stub(n_clients=4)
+        spill = UpdateSpill(tmp_path / "e.spill")
+        fold = algo.make_fold(spill)
+        with pytest.raises(ValueError, match="surviving update"):
+            fold.finalize(0)
+
+    def test_fault_model_rejected(self, tiny_dataset, tiny_setting):
+        from repro.fl import FaultModel
+        model_fn, _ = tiny_setting
+        algo = FedAvg(model_fn, _clients(tiny_dataset, tiny_setting),
+                      lr=0.05, local_epochs=1, seed=0,
+                      fault_model=FaultModel(drop_prob=0.5, seed=1))
+        with pytest.raises(ValueError, match="fault-free"):
+            ScaleRunner(algo)
+
+
+# --------------------------------------------------- async update store
+
+class TestAsyncUpdateStore:
+    HOSTILE = dict(jitter=0.3, straggler_prob=0.4, slowdown=6.0,
+                   arrival_spread=1.0, churn_prob=0.1, crash_prob=0.05,
+                   duplicate_prob=0.25)
+
+    def _run(self, tmp_path, store=None):
+        runner = AsyncFederatedRunner(
+            make_stub(n_clients=10, seed=5),
+            AsyncProfile(seed=5, **self.HOSTILE),
+            AsyncConfig(buffer_k=3, max_inflight=4, max_queue=4),
+            update_store=store)
+        runner.run(steps=12)
+        return runner
+
+    def test_store_mode_matches_in_memory(self, tmp_path):
+        ref = self._run(tmp_path)
+        store = ClientStateStore(tmp_path / "updates")
+        stored = self._run(tmp_path, store=store)
+        assert state_fingerprint(dict(
+            stored.algo.global_model.state_dict())) == state_fingerprint(
+                dict(ref.algo.global_model.state_dict()))
+        assert stored.counters == ref.counters
+        assert stored.algo.ledger.total_bytes() == ref.algo.ledger.total_bytes()
+        # committed jobs drained their blobs; only undelivered ones remain
+        live = {jid for jid, job in stored.jobs.items()
+                if not job.accepted and not job.crashed
+                and jid in stored.inflight}
+        for key in store.keys():
+            assert int(key.split("/")[1]) in live
+
+    def test_dedup_registry_bounded(self, tmp_path):
+        runner = AsyncFederatedRunner(
+            make_stub(n_clients=10, seed=5),
+            AsyncProfile(seed=5, **self.HOSTILE),
+            AsyncConfig(buffer_k=3, max_inflight=4, max_queue=4,
+                        dedup_capacity=2))
+        runner.run(steps=10)
+        assert len(runner._fp_registry) <= 2
+        assert runner.dedup_evictions > 0
+
+    def test_dedup_capacity_validated(self):
+        with pytest.raises(ValueError):
+            AsyncConfig(dedup_capacity=0)
+
+    def test_store_mode_checkpoint_resume(self, tmp_path):
+        """Mid-flight snapshot re-parks spilled updates on load."""
+        from repro.fl.checkpoint import (load_async_checkpoint,
+                                         save_async_checkpoint)
+
+        def fresh(store):
+            return AsyncFederatedRunner(
+                make_stub(n_clients=10, seed=5),
+                AsyncProfile(seed=5, **self.HOSTILE),
+                AsyncConfig(buffer_k=3, max_inflight=4, max_queue=4),
+                update_store=store)
+
+        ref = fresh(ClientStateStore(tmp_path / "ref"))
+        ref.run(steps=12)
+
+        first = fresh(ClientStateStore(tmp_path / "first"))
+        first.pump(23)
+        path = tmp_path / "async_store.npz"
+        save_async_checkpoint(first, path)
+
+        resumed = fresh(ClientStateStore(tmp_path / "resumed"))
+        load_async_checkpoint(resumed, path)
+        resumed.run(steps=12 - resumed.server_step)
+        assert state_fingerprint(dict(
+            resumed.algo.global_model.state_dict())) == state_fingerprint(
+                dict(ref.algo.global_model.state_dict()))
+        assert resumed.counters == ref.counters
+
+
+# ------------------------------------------------ broadcast cache bound
+
+class TestBroadcastCacheEviction:
+    def test_lru_eviction_counts(self):
+        cache = BroadcastCache(max_entries=2)
+        token = object()
+        for i in range(4):
+            state = {"w": np.full(4, float(i), dtype=np.float32)}
+            cache.encode(state, token=token, channel=f"ch{i}")
+        assert len(cache._entries) == 2
+        assert cache.evictions == 2
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ValueError):
+            BroadcastCache(max_entries=0)
+
+    def test_replica_ships_cold_with_bound(self):
+        cache = BroadcastCache(max_entries=3)
+        cache.encode({"w": np.zeros(4, np.float32)}, token=1)
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.max_entries == 3
+        assert not clone._entries
