@@ -1,21 +1,30 @@
-"""Serial-vs-parallel round wall-time benchmark (DESIGN.md §9).
+"""Round wall-time benchmark across execution engines (DESIGN.md §9/§14).
 
-Runs the same FedAvg workload under the serial executor and under
-process pools of increasing width, verifies every run is byte-identical
-to serial, and appends one record per invocation to
-``BENCH_parallel.json`` at the repo root::
+Runs the same FedAvg workload under every requested executor — the
+in-process serial loop, process pools of increasing width (optionally
+with the shared-memory broadcast transport), and the vectorized cohort
+executor — verifies every run is byte-identical to serial, and appends
+one record per invocation to ``BENCH_parallel.json`` at the repo root::
 
-    python benchmarks/bench_parallel.py                    # defaults
-    python benchmarks/bench_parallel.py --clients 8 --rounds 3 \
-        --workers 1 2 4 --scale tiny
+    python benchmarks/bench_parallel.py                    # default sweep
+    python benchmarks/bench_parallel.py --executors serial process:4 \
+        process:4+shm vectorized --clients 8 --rounds 3 --scale tiny
+    python benchmarks/bench_parallel.py --smoke --check    # CI gate
 
-Speedup is reported relative to the serial run.  On a single-core
-container expect speedup < 1 — the measurement is still the point: it
-quantifies the fan-out overhead (fork + state sync + update decode) that
-DESIGN.md §9's serial-vs-process guidance is based on.  This script is
-deliberately *not* a pytest-benchmark test: one invocation produces the
-whole curve, and the tier-1 suite already asserts the byte-identity the
-curve depends on.
+Executor specs: ``serial``, ``vectorized``, ``process:N`` (pool of N
+workers), ``process:N+shm`` (same, broadcast state through shared
+memory).  Speedup is reported relative to the serial run.  On a
+single-core container expect ``process`` speedup < 1 — the measurement
+quantifies the fan-out overhead DESIGN.md §9's guidance is based on —
+while ``vectorized`` should beat serial there: batching the cohort's
+local training into stacked GEMMs removes per-client Python/autodiff
+overhead without adding processes (DESIGN.md §14).
+
+``--check`` turns measured floors into an exit code (see
+:func:`check_rows`); ``--smoke`` shrinks the workload for CI.  This
+script is deliberately *not* a pytest-benchmark test: one invocation
+produces the whole curve, and the tier-1 suite already asserts the
+byte-identity the curve depends on.
 """
 
 from __future__ import annotations
@@ -30,16 +39,43 @@ from pathlib import Path
 
 OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
 
+#: Default ``--check`` floors on ``speedup_vs_serial`` per engine kind.
+#: ``vectorized`` must actually win (that is its reason to exist);
+#: ``process`` on a 1-CPU box loses to fan-out overhead by design, so
+#: its floor only catches pathological regressions (~0.88x measured).
+DEFAULT_FLOORS = {"vectorized": 1.0, "process": 0.70}
 
-def run_once(cfg, workers: int) -> tuple[float, bytes, list]:
-    """One full run at the given worker count; returns (wall_s, state, accs)."""
+
+def parse_spec(spec: str) -> dict:
+    """``serial`` | ``vectorized`` | ``process:N`` | ``process:N+shm``."""
+    shm = spec.endswith("+shm")
+    base = spec[:-4] if shm else spec
+    kind, _, n = base.partition(":")
+    if kind not in ("serial", "process", "vectorized"):
+        raise ValueError(f"unknown executor spec {spec!r}")
+    if kind == "process" and not n:
+        raise ValueError(f"process spec needs a width, e.g. process:2 "
+                         f"(got {spec!r})")
+    if shm and kind != "process":
+        raise ValueError(f"+shm only applies to process specs (got {spec!r})")
+    return {"spec": spec, "kind": kind, "workers": int(n) if n else 1,
+            "shm": shm}
+
+
+def make_spec_executor(spec: dict):
+    """Build the executor a parsed spec describes."""
+    from repro.fl.parallel import make_executor
+    return make_executor(spec["workers"], kind=spec["kind"], shm=spec["shm"])
+
+
+def run_once(cfg, spec: dict) -> tuple[float, bytes, list]:
+    """One full run under one executor; returns (wall_s, state, accs)."""
     from repro.experiments.configs import make_algorithm, make_setting
     from repro.fl.comm import serialize_state
-    from repro.fl.parallel import make_executor
 
     model_fn, clients = make_setting(cfg)
     algo = make_algorithm("fedavg", cfg, model_fn, clients,
-                          executor=make_executor(workers))
+                          executor=make_spec_executor(spec))
     try:
         t0 = time.perf_counter()
         results = [algo.run_round(r) for r in range(cfg.rounds)]
@@ -50,8 +86,31 @@ def run_once(cfg, workers: int) -> tuple[float, bytes, list]:
     return wall, state, [r.avg_val_acc for r in results]
 
 
+def check_rows(rows: list[dict], floors: dict | None = None) -> list[str]:
+    """Regression gate over one sweep's rows; returns human-readable errors.
+
+    Every row must be byte-identical to serial, and each engine kind with
+    a floor in ``floors`` (defaults: :data:`DEFAULT_FLOORS`) must reach
+    that ``speedup_vs_serial``.  Pure function so tests can feed it
+    synthetic rows.
+    """
+    floors = {**DEFAULT_FLOORS, **(floors or {})}
+    errors = []
+    for row in rows:
+        spec = row["executor"]
+        if not row.get("byte_identical_to_serial", False):
+            errors.append(f"{spec}: final state diverged from serial")
+            continue
+        kind = spec.split("+")[0].split(":")[0]
+        floor = floors.get(kind)
+        if floor is not None and row["speedup_vs_serial"] < floor:
+            errors.append(f"{spec}: speedup {row['speedup_vs_serial']:.3f}x "
+                          f"below the {floor:.2f}x floor")
+    return errors
+
+
 def main(argv=None) -> int:
-    """Run the curve, verify byte-identity, append to BENCH_parallel.json."""
+    """Run the sweep, verify byte-identity, append to BENCH_parallel.json."""
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--scale", default=os.environ.get(
         "REPRO_BENCH_SCALE", "tiny"), choices=["tiny", "small", "paper"])
@@ -59,26 +118,47 @@ def main(argv=None) -> int:
     parser.add_argument("--rounds", type=int, default=2)
     parser.add_argument("--local-epochs", type=int, default=1)
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4],
-                        help="worker counts to sweep (1 = serial baseline)")
+    parser.add_argument("--executors", nargs="+",
+                        default=["serial", "process:2", "process:2+shm",
+                                 "vectorized"],
+                        help="executor specs to sweep (serial is always "
+                             "run first as the baseline)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast workload for CI (overrides "
+                             "--clients/--rounds/--local-epochs)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless every row passes "
+                             "check_rows() (byte-identity + speedup floors)")
     parser.add_argument("--out", default=str(OUT_PATH),
                         help="JSON history file to append to")
     args = parser.parse_args(argv)
+
+    if args.smoke:
+        # 3 rounds, not 2: the vectorized engine pays its cohort setup
+        # (trainer construction + parameter stacking) in round 0, and at
+        # 2 rounds the amortized speedup sits right on the 1.0x --check
+        # floor; the third round gives the CI gate real margin.
+        args.clients, args.rounds, args.local_epochs = 8, 3, 1
 
     from repro.experiments.configs import config_for
     cfg = config_for(args.scale, n_clients=args.clients, sample_ratio=1.0,
                      rounds=args.rounds, local_epochs=args.local_epochs,
                      seed=args.seed)
 
-    sweep = sorted(set([1] + list(args.workers)))
+    specs = [parse_spec(s) for s in args.executors]
+    if not any(s["kind"] == "serial" for s in specs):
+        specs.insert(0, parse_spec("serial"))
+    specs.sort(key=lambda s: s["kind"] != "serial")   # baseline first
+
     rows, baseline_wall, baseline_state = [], None, None
-    for workers in sweep:
-        wall, state, accs = run_once(cfg, workers)
-        if workers == 1:
+    for spec in specs:
+        wall, state, accs = run_once(cfg, spec)
+        if baseline_state is None:
             baseline_wall, baseline_state = wall, state
         identical = state == baseline_state
         rows.append({
-            "workers": workers,
+            "executor": spec["spec"],
+            "workers": spec["workers"],
             "wall_s": round(wall, 4),
             "wall_s_per_round": round(wall / cfg.rounds, 4),
             "speedup_vs_serial": round(baseline_wall / wall, 4),
@@ -86,7 +166,7 @@ def main(argv=None) -> int:
             "final_acc": round(accs[-1], 4),
         })
         status = "OK" if identical else "STATE MISMATCH"
-        print(f"workers={workers:2d}  wall={wall:8.2f}s  "
+        print(f"{spec['spec']:16s}  wall={wall:8.2f}s  "
               f"speedup={baseline_wall / wall:5.2f}x  [{status}]")
 
     from repro.obs.metrics import observe_peak_rss
@@ -111,6 +191,12 @@ def main(argv=None) -> int:
     history.append(record)
     out.write_text(json.dumps(history, indent=2) + "\n")
     print(f"appended to {out}")
+
+    if args.check:
+        errors = check_rows(rows)
+        for err in errors:
+            print(f"CHECK FAILED: {err}")
+        return 1 if errors else 0
     return 0 if all(r["byte_identical_to_serial"] for r in rows) else 1
 
 

@@ -9,9 +9,11 @@ Two families of cases, written to ``BENCH_scale.json`` at the repo root:
   materialized ``run_round`` baseline.
 * **sweep** — stub populations of 1k/10k/100k clients (smoke: 300/1.5k)
   in ``materialized`` / ``streaming`` / ``hier2`` modes.  Each case runs
-  in a *fresh subprocess* because ``ru_maxrss`` is a process-lifetime
-  high-water mark: measuring three modes in one process would report the
-  max of all three.  The gate checks that the three modes agree on the
+  in a *fresh subprocess* because peak RSS (``VmHWM``, see
+  ``repro.obs.metrics.peak_rss_bytes``) is a process-lifetime high-water
+  mark: measuring three modes in one process would report the max of all
+  three.  ``VmHWM`` does reset on ``exec``, so each spawned child
+  reports its own peak rather than the parent's.  The gate checks that the three modes agree on the
   final-state CRC at every population and that streaming peak RSS stays
   flat (within 2x) from the smallest to the largest population — the
   materialized cohort is the thing that grows.
@@ -109,7 +111,7 @@ def identity_case(algo_name: str, edges: int, smoke: bool) -> dict:
 # ---------------------------------------------------------------- sweep
 
 def run_child(spec: dict) -> int:
-    """One sweep case, isolated in its own process for a clean ru_maxrss."""
+    """One sweep case, isolated in its own process for a clean peak RSS."""
     from repro.fl import (ClientStateStore, ScaleRunner, StubClientFactory,
                           VirtualClientPool, state_fingerprint)
     from repro.fl.stub import DictModel, StubAvg, StubClient

@@ -53,7 +53,8 @@ def _cfg(args, **extra):
                      fault_retries=args.fault_retries,
                      fault_seed=args.fault_seed,
                      min_clients=args.min_clients,
-                     workers=args.workers)
+                     workers=args.workers, executor=args.executor,
+                     shm=args.shm)
     if args.rounds:
         overrides["rounds"] = args.rounds
     overrides.update(extra)
@@ -347,6 +348,19 @@ def build_parser() -> argparse.ArgumentParser:
                              "(1 = in-process serial executor; N>1 fans "
                              "clients over N processes, byte-identical "
                              "results — see DESIGN.md §9)")
+    parser.add_argument("--executor", default="auto",
+                        choices=["auto", "serial", "process", "vectorized"],
+                        help="round-execution engine (DESIGN.md §14): auto "
+                             "picks serial/process from --workers; "
+                             "vectorized batches the cohort's local "
+                             "training into stacked GEMMs on one core. "
+                             "All engines are byte-identical.")
+    parser.add_argument("--shm", action="store_true",
+                        help="ship the process executor's per-round "
+                             "broadcast state through a shared-memory "
+                             "segment (workers deserialize it zero-copy) "
+                             "instead of the task pickle stream; needs "
+                             "--workers >= 2")
     faults = parser.add_argument_group(
         "fault injection",
         "Seeded failure simulation; all defaults leave the fault path off "

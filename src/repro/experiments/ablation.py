@@ -25,7 +25,10 @@ def _run_spatl(cfg: ExperimentConfig, rounds: int | None = None,
                **spatl_kwargs) -> ExperimentLog:
     model_fn, clients = make_setting(cfg)
     algo = make_algorithm("spatl", cfg, model_fn, clients, **spatl_kwargs)
-    log = algo.run(rounds or cfg.rounds)
+    try:
+        log = algo.run(rounds or cfg.rounds)
+    finally:
+        algo.close()   # release executor pools / shm segments
     log.meta["final_acc"] = log.last("val_acc")
     return log
 

@@ -84,7 +84,10 @@ def async_convergence(cfg: ExperimentConfig, algorithm: str = "fedavg",
     # --- synchronous reference ------------------------------------------
     model_fn, clients = make_setting(cfg)
     sync_algo = make_algorithm(algorithm, cfg, model_fn, clients)
-    sync_log = sync_algo.run(rounds)
+    try:
+        sync_log = sync_algo.run(rounds)
+    finally:
+        sync_algo.close()   # release executor pools / shm segments
     sync_times = _sync_round_times(sync_algo, profile, rounds)
     sync_losses = list(sync_log["train_loss"])
     target = min(loss for loss in sync_losses if math.isfinite(loss))
@@ -103,6 +106,7 @@ def async_convergence(cfg: ExperimentConfig, algorithm: str = "fedavg",
         rounds * n * sync_algo.sample_ratio / acfg.buffer_k)
     results = runner.run(steps=steps)
     runner.finalize()
+    async_algo.close()
     async_times = [r.time for r in results]
     async_losses = [r.train_loss for r in results]
 

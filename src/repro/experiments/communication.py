@@ -68,7 +68,10 @@ def _run_to_target(cfg: ExperimentConfig, method: str, target: float,
                    max_rounds: int) -> ExperimentLog:
     model_fn, clients = make_setting(cfg)
     algo = make_algorithm(method, cfg, model_fn, clients)
-    return algo.run(max_rounds, target_accuracy=target)
+    try:
+        return algo.run(max_rounds, target_accuracy=target)
+    finally:
+        algo.close()   # release executor pools / shm segments
 
 
 def table1_target_cost(cfg: ExperimentConfig, target: float = 0.6,
@@ -91,7 +94,10 @@ def table2_convergence(cfg: ExperimentConfig, patience: int = 5,
     for m in methods:
         model_fn, clients = make_setting(cfg)
         algo = make_algorithm(m, cfg, model_fn, clients)
-        logs[m] = algo.run(max_rounds, patience=patience)
+        try:
+            logs[m] = algo.run(max_rounds, patience=patience)
+        finally:
+            algo.close()
     return _rows_from_logs(cfg, logs, target=None)
 
 
@@ -141,7 +147,10 @@ def rounds_to_target_figure(cfg: ExperimentConfig, targets=(0.5, 0.6, 0.7),
     for method in methods:
         model_fn, clients = make_setting(cfg)
         algo = make_algorithm(method, cfg, model_fn, clients)
-        log = algo.run(max_rounds)
+        try:
+            log = algo.run(max_rounds)
+        finally:
+            algo.close()
         out[method] = {t: rounds_to_target(log["val_acc"], t) for t in targets}
     return out
 

@@ -65,11 +65,15 @@ class ExperimentConfig:
     fault_retries: int = 2
     fault_seed: int | None = None        # defaults to `seed` when faults on
     min_clients: int = 1                 # round-commit quorum
-    # Round-execution engine (DESIGN.md §9): 1 = in-process serial executor,
-    # N>1 fans per-client exchanges over N worker processes.  Results are
-    # byte-identical either way; >1 only pays off when per-client training
-    # outweighs process fan-out overhead.
+    # Round-execution engine (DESIGN.md §9/§14): 1 = in-process serial
+    # executor, N>1 fans per-client exchanges over N worker processes.
+    # ``executor`` picks the engine explicitly ("auto" | "serial" |
+    # "process" | "vectorized"); ``shm=True`` routes the process pool's
+    # per-round broadcast state through shared memory.  Results are
+    # byte-identical across all engines.
     workers: int = 1
+    executor: str = "auto"
+    shm: bool = False
 
     def scaled(self, **overrides) -> "ExperimentConfig":
         return replace(self, **overrides)
@@ -167,8 +171,9 @@ def make_algorithm(name: str, cfg: ExperimentConfig, model_fn, clients,
     common = dict(lr=cfg.lr, local_epochs=cfg.local_epochs,
                   sample_ratio=cfg.sample_ratio, momentum=cfg.momentum,
                   seed=cfg.seed)
-    if cfg.workers > 1:
-        common["executor"] = make_executor(cfg.workers)
+    if cfg.workers > 1 or cfg.executor != "auto" or cfg.shm:
+        common["executor"] = make_executor(cfg.workers, kind=cfg.executor,
+                                           shm=cfg.shm)
     fault_model = make_fault_model(cfg)
     if fault_model is not None:
         common.update(fault_model=fault_model,

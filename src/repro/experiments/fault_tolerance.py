@@ -43,7 +43,10 @@ def fault_degradation_curve(cfg: ExperimentConfig,
                 fault_corrupt_prob=corrupt_prob if p > 0 else 0.0)
             model_fn, clients = make_setting(fcfg)
             algo = make_algorithm(name, fcfg, model_fn, clients)
-            log = algo.run(rounds)
+            try:
+                log = algo.run(rounds)
+            finally:
+                algo.close()   # release executor pools / shm segments
             per_rate[p] = {
                 "final_acc": log.last("val_acc"),
                 "total_gb": algo.ledger.total_gb(),

@@ -21,7 +21,10 @@ def inference_acceleration_table(cfg: ExperimentConfig,
     rounds = rounds or cfg.rounds
     model_fn, clients = make_setting(cfg)
     algo = make_algorithm("spatl", cfg, model_fn, clients)
-    log = algo.run(rounds)
+    try:
+        log = algo.run(rounds)
+    finally:
+        algo.close()   # release executor pools / shm segments
     report = algo.inference_report()
     if not report:
         raise RuntimeError("no client selections were recorded")

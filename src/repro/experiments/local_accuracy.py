@@ -23,7 +23,10 @@ def local_accuracy_figure(cfg: ExperimentConfig,
     for method in methods:
         model_fn, clients = make_setting(cfg)
         algo = make_algorithm(method, cfg, model_fn, clients)
-        algo.run(rounds)
+        try:
+            algo.run(rounds)
+        finally:
+            algo.close()   # release executor pools / shm segments
         accs = np.asarray(algo.per_client_accuracy())
         out[method] = {
             "per_client": accs.tolist(),

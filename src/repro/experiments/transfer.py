@@ -51,7 +51,10 @@ def transferability_table(cfg: ExperimentConfig,
                                width_mult=cfg.width_mult, seed=cfg.seed + 1)
 
         algo = make_algorithm(method, cfg, model_fn, clients)
-        log = algo.run(rounds)
+        try:
+            log = algo.run(rounds)
+        finally:
+            algo.close()   # release executor pools / shm segments
         model = algo.global_model
         acc_before = _plain_accuracy(model, transfer_test)
         acc_after = transfer_accuracy(model, transfer_train, transfer_test,

@@ -91,8 +91,16 @@ class ScaleRunner:
         self.spill_dir = os.fspath(spill_dir)
         os.makedirs(self.spill_dir, exist_ok=True)
         if wave is None:
-            workers = getattr(algorithm.executor, "workers", None)
-            wave = 2 * workers if workers else 1
+            # An executor can hint its sweet-spot wave size (the
+            # vectorized executor stacks this many clients per batched
+            # step); otherwise keep 2x the worker count in flight so the
+            # pool never idles, or 1 for in-process execution.
+            preferred = getattr(algorithm.executor, "preferred_wave", None)
+            if preferred:
+                wave = preferred
+            else:
+                workers = getattr(algorithm.executor, "workers", None)
+                wave = 2 * workers if workers else 1
         self.wave = max(1, int(wave))
         self._pending: dict[str, Any] | None = None
 

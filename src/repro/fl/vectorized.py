@@ -1,0 +1,280 @@
+"""Vectorized round execution: train the whole cohort as one batched model.
+
+SPATL's round loop trains B identical-architecture models per round —
+one per sampled client — and on a single core the serial executor pays
+B× the Python/autodiff overhead for the same total FLOPs.  This module
+stacks the cohort instead (DESIGN.md §14): client parameters become
+leading-batch-dim arrays, client mini-batches fold into the sample axis,
+and each training step runs through the batched kernels of
+:mod:`repro.nn.cohort` — one graph, one backward, one batched SGD step
+for the whole cohort.
+
+**Lockstep step groups.**  Dirichlet partitions give clients unequal
+shards, so per-step mini-batch row counts diverge (final partial
+batches, exhausted shards).  Each global step therefore groups the still
+-active clients by their current batch row count; every group gathers
+its rows from the canonical ``(B, ...)`` stacks (a zero-copy install
+when the group is the full cohort — the steady state), steps, and
+scatters back.  Per-client batch *sequences* are untouched — the same
+seeded loaders yield the same batches in the same order as serial
+training — so client b's parameter trajectory is bitwise identical.
+
+**Byte-identity and faults.**  The executor precomputes every client's
+update with the cohort kernels, then replays the standard per-client
+exchange (:meth:`FederatedAlgorithm._client_exchange`) in cohort order
+with ``local_update`` substituted by a precomputed-lookup — ledger
+bytes, fault draws, retries, crash rollbacks, and stats all go through
+the unmodified protocol path, so clean *and* faulty runs match serial
+byte-for-byte (asserted in ``tests/test_fl_vectorized.py``).  A
+substituted retry returns the same update recomputation would produce —
+local training is a pure function of ``(global state, client, round)``.
+
+Anything outside the kernels' envelope — algorithms without the
+``cohort_local_updates`` hook, gradient-norm clipping, channel masks,
+unsupported layer types — falls back to the wrapped serial executor.
+One observable (non-numeric) difference: traced vectorized runs carry no
+per-client ``train_local`` spans, because the cohort trains in one
+batched pass.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.fl.parallel import RoundExecutor, SerialExecutor
+from repro.nn.cohort import (CohortUnsupported, cross_entropy_cohort,
+                             sgd_step_cohort)
+from repro.tensor import Tensor
+from repro.utils.metrics import RunningAverage
+
+__all__ = ["CohortTrainer", "VectorizedRoundExecutor", "CohortUnsupported",
+           "cohort_local_updates"]
+
+
+class CohortTrainer:
+    """Batched local training for one algorithm's cohort.
+
+    Owns a single cohort model (built once from ``algorithm.model_fn``)
+    whose parametric layers dispatch to the batched kernels, plus the
+    per-round canonical parameter/buffer/velocity stacks.  ``run``
+    returns ``{client_id: update}`` with updates bitwise equal to the
+    algorithm's serial ``local_update`` outputs.
+    """
+
+    def __init__(self, algorithm: Any):
+        from repro.nn.conv import Conv2d
+        from repro.nn.dropout import Dropout
+        from repro.nn.linear import Linear
+        from repro.nn.norm import _BatchNorm
+
+        self.algorithm = algorithm
+        self.model = algorithm.model_fn()
+        self._mods: list[Any] = []
+        for name, mod in self.model.named_modules():
+            if isinstance(mod, Dropout) and mod.p > 0:
+                raise CohortUnsupported(
+                    f"dropout p={mod.p} at {name!r} draws per-sample RNG "
+                    "the folded batch cannot replicate")
+            if mod._parameters and not isinstance(
+                    mod, (Conv2d, Linear, _BatchNorm)):
+                raise CohortUnsupported(
+                    f"no batched kernel for parametric module "
+                    f"{type(mod).__name__} at {name!r}")
+            if mod._buffers and not isinstance(mod, _BatchNorm):
+                raise CohortUnsupported(
+                    f"no batched kernel for buffered module "
+                    f"{type(mod).__name__} at {name!r}")
+            if isinstance(mod, (Conv2d, Linear, _BatchNorm)):
+                self._mods.append(mod)
+        self._params = dict(self.model.named_parameters())
+        self._buffer_owners = self.model._buffer_owners()
+
+    def _check_round(self) -> None:
+        """Per-round gates on state that may change between rounds."""
+        if self.algorithm.max_grad_norm is not None:
+            raise CohortUnsupported(
+                "gradient-norm clipping couples a client's parameters "
+                "through a global norm; cohort steps do not replicate it")
+        for mod in self.model.modules():
+            if getattr(mod, "_channel_masks", None):
+                raise CohortUnsupported("channel masks installed")
+
+    def _install(self, params: dict[str, np.ndarray],
+                 buffers: dict[str, np.ndarray], cohort: int) -> None:
+        """Point the cohort model at a group's stacks."""
+        for name, p in self._params.items():
+            p.data = params[name]
+            p.grad = None
+        for name, (owner, local) in self._buffer_owners.items():
+            owner.set_buffer(local, buffers[name])
+        for mod in self._mods:
+            mod._cohort_n = cohort
+
+    def run(self, clients: Sequence[Any], round_idx: int) -> dict[int, dict]:
+        """Train every client's local update in batched lockstep."""
+        self._check_round()
+        algo = self.algorithm
+        b = len(clients)
+        gstate = algo.global_model.state_dict()
+        param_names = set(self._params)
+        canonical = {}
+        for name, arr in gstate.items():
+            stacked = np.ascontiguousarray(
+                np.broadcast_to(arr, (b,) + np.asarray(arr).shape))
+            if not stacked.flags.writeable:
+                # b == 1: the broadcast view is already contiguous, so
+                # ascontiguousarray returned it (read-only) uncopied.
+                stacked = stacked.copy()
+            canonical[name] = stacked
+        velocity = ({name: np.zeros((b,) + gstate[name].shape,
+                                    dtype=gstate[name].dtype)
+                     for name in param_names} if algo.momentum else {})
+
+        # Per-client batch streams: fresh seeded loaders per epoch, lazily
+        # chained — exactly the sequence train_local iterates.
+        def batches(client, epochs):
+            for epoch in range(epochs):
+                yield from client.train_loader(round_idx * 1000 + epoch)
+
+        iters = [batches(c, algo.epochs_for(c, round_idx)) for c in clients]
+        pending = [next(it, None) for it in iters]
+        loss_avgs = [RunningAverage() for _ in clients]
+        steps = [0] * b
+        self.model.train()
+
+        while True:
+            active = [i for i in range(b) if pending[i] is not None]
+            if not active:
+                break
+            groups: dict[int, list[int]] = {}
+            for i in active:
+                groups.setdefault(len(pending[i][1]), []).append(i)
+            for nrows, idx in groups.items():
+                k = len(idx)
+                full = k == b
+                if full:
+                    gparams = {n: canonical[n] for n in param_names}
+                    gbuffers = {n: canonical[n] for n in self._buffer_owners}
+                    gvel = velocity
+                else:
+                    sel = np.asarray(idx)
+                    gparams = {n: canonical[n][sel] for n in param_names}
+                    gbuffers = {n: canonical[n][sel]
+                                for n in self._buffer_owners}
+                    gvel = {n: velocity[n][sel] for n in velocity}
+                self._install(gparams, gbuffers, k)
+                if k == 1:
+                    xb, yb = pending[idx[0]]
+                else:
+                    xb = np.concatenate([pending[i][0] for i in idx], axis=0)
+                    yb = np.concatenate([pending[i][1] for i in idx], axis=0)
+                logits = self.model(Tensor(xb))
+                loss = cross_entropy_cohort(logits, yb, k)
+                self.model.zero_grad()
+                loss.backward(np.ones(k, dtype=np.float32))
+                sgd_step_cohort(self._params.items(), algo.lr, algo.momentum,
+                                algo.weight_decay, gvel)
+                # Buffers were *replaced* by the batched batch-norm
+                # (set_buffer swaps array objects); params stepped in
+                # place.  Fold both back into the canonical stacks.
+                if full:
+                    for name, (owner, local) in self._buffer_owners.items():
+                        canonical[name] = owner._buffers[local]
+                else:
+                    for name in param_names:
+                        canonical[name][sel] = self._params[name].data
+                    for name, (owner, local) in self._buffer_owners.items():
+                        canonical[name][sel] = owner._buffers[local]
+                    for name in velocity:
+                        velocity[name][sel] = gvel[name]
+                for j, i in enumerate(idx):
+                    loss_avgs[i].update(float(loss.data[j]), nrows)
+                    steps[i] += 1
+            for i in active:
+                pending[i] = next(iters[i], None)
+
+        updates: dict[int, dict] = {}
+        for j, client in enumerate(clients):
+            state = OrderedDict(
+                (name, np.array(canonical[name][j])) for name in gstate)
+            updates[client.client_id] = {
+                "state": state, "n": client.num_train,
+                "train_loss": loss_avgs[j].value, "steps": steps[j]}
+        return updates
+
+
+# One trainer per algorithm, never pickled (worker replicas rebuild their
+# own on demand) and dropped with the algorithm.
+_TRAINERS: "weakref.WeakKeyDictionary[Any, CohortTrainer]" = \
+    weakref.WeakKeyDictionary()
+
+
+def cohort_local_updates(algorithm: Any, clients: Sequence[Any],
+                         round_idx: int) -> dict[int, dict]:
+    """Batched ``local_update`` for every client; raises
+    :class:`CohortUnsupported` when the model/config falls outside the
+    batched kernels' envelope (callers fall back to serial)."""
+    trainer = _TRAINERS.get(algorithm)
+    if trainer is None:
+        trainer = _TRAINERS[algorithm] = CohortTrainer(algorithm)
+    return trainer.run(clients, round_idx)
+
+
+class VectorizedRoundExecutor(RoundExecutor):
+    """Single-process executor that batches the cohort's local training.
+
+    ``collect`` precomputes every selected client's update through the
+    cohort kernels, then replays the standard serial exchange loop with
+    ``local_update`` answering from the precomputed table — identical
+    protocol side effects (ledger, fault draws, retries, stats, metrics)
+    in identical cohort order, so results are byte-identical to
+    :class:`~repro.fl.parallel.SerialExecutor` clean and under faults.
+
+    Algorithms without a ``cohort_local_updates`` hook, and any round the
+    hook rejects (:class:`CohortUnsupported`), run on ``fallback``
+    (serial by default).  See DESIGN.md §14 for when this executor wins:
+    small models on few cores, where per-client Python overhead — not
+    GEMM throughput — dominates round wall-time.
+    """
+
+    #: Wave-size hint for the population-scale runner: stacking this many
+    #: virtual clients per wave keeps the batched GEMMs wide while
+    #: bounding stacked-parameter memory (ScaleRunner reads this when no
+    #: explicit ``wave`` is given).
+    preferred_wave = 16
+
+    def __init__(self, fallback: RoundExecutor | None = None):
+        self.fallback = fallback if fallback is not None else SerialExecutor()
+        self._serial = SerialExecutor()
+
+    def collect(self, algorithm, selected, round_idx, salt, stats):
+        """Batched precompute + serial-order protocol replay."""
+        hook = getattr(algorithm, "cohort_local_updates", None)
+        if hook is None or not selected:
+            return self.fallback.collect(algorithm, selected, round_idx,
+                                         salt, stats)
+        try:
+            precomputed = hook(list(selected), round_idx)
+        except CohortUnsupported:
+            return self.fallback.collect(algorithm, selected, round_idx,
+                                         salt, stats)
+
+        def _precomputed_update(client, _round_idx):
+            # Retries re-enter here; returning the cached update matches
+            # serial retraining because local training is deterministic
+            # in (global state, client, round).
+            return precomputed[client.client_id]
+
+        algorithm.local_update = _precomputed_update
+        try:
+            return self._serial.collect(algorithm, selected, round_idx, salt,
+                                        stats)
+        finally:
+            del algorithm.local_update
+
+    def close(self) -> None:
+        self.fallback.close()

@@ -1,0 +1,302 @@
+"""Cohort-batched kernels: train B clients' models as one stacked model.
+
+The vectorized round executor (:mod:`repro.fl.vectorized`, DESIGN.md §14)
+stacks B clients' identical-shape parameters into leading-batch-dim
+arrays — weights ``(B, out, in, kh, kw)``, biases ``(B, out)`` — and runs
+the whole cohort's local training through single batched GEMMs instead
+of B sequential per-client passes.  Client samples travel *folded* into
+the batch axis: a step with per-client mini-batches of N rows feeds the
+unmodified model forward an input of shape ``(B*N, C, H, W)``, and every
+per-sample op (ReLU, pooling, residual adds, flatten, spatial means)
+runs unchanged; only the parametric layers — :class:`~repro.nn.Conv2d`,
+:class:`~repro.nn.Linear`, :class:`~repro.nn.norm._BatchNorm` — dispatch
+here to consume the stacked parameters.
+
+**Byte-identity contract.**  Every kernel mirrors the serial kernel's
+arithmetic op-for-op so that slice ``b`` of each batched result is
+bitwise equal to what client ``b``'s serial pass produces:
+
+- batched 3-D ``np.matmul`` (including transposed-view operands) equals
+  the per-slice 2-D GEMMs it replaces;
+- cross-client reductions never happen — reductions always carry the
+  client axis (``sum(axis=1)`` on ``(B, rows, C)``, ``(1, 3, 4)`` on a
+   5-D batch-norm view), which NumPy reduces with the same pairwise
+  summation per slice as the serial ``axis=0`` / ``(0, 2, 3)`` calls;
+- elementwise chains (bias adds, SGD updates, batch-norm affine) use the
+  same operand order and the same Python-float scalars.
+
+The golden tests (``tests/test_fl_vectorized.py``) assert the resulting
+global models byte-identical to serial execution, clean and under
+faults.  Anything outside this kernel set (dropout with p > 0, channel
+masks, unknown parametric modules) raises :class:`CohortUnsupported`,
+and the executor falls back to the serial path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.conv import _col2im, _im2col
+from repro.tensor.tensor import Tensor, is_grad_enabled
+
+
+class CohortUnsupported(Exception):
+    """Model/config outside the cohort kernels' support envelope.
+
+    Raised during install or dispatch; the vectorized executor catches it
+    and falls back to serial execution, so it is a routing signal, never
+    a user-facing failure.
+    """
+
+
+def conv2d_cohort(x: Tensor, weight: Tensor, bias: Tensor | None,
+                  stride: int, padding: int, cohort: int) -> Tensor:
+    """Batched convolution over ``cohort`` stacked clients.
+
+    ``x``: folded ``(B*N, C_in, H, W)``; ``weight``: stacked
+    ``(B, C_out, C_in, kh, kw)``; ``bias``: stacked ``(B, C_out)`` or
+    None.  im2col runs once on the folded input (patch extraction is
+    per-sample, so client b's rows are exactly its serial patch matrix),
+    then one batched GEMM per direction replaces B serial GEMMs.
+    """
+    b_, oc, ic, kh, kw = weight.shape
+    rows = x.shape[0]
+    if b_ != cohort or rows % cohort:
+        raise CohortUnsupported(
+            f"conv2d: weight stack {b_} / folded rows {rows} do not match "
+            f"cohort size {cohort}")
+    if padding:
+        xp = np.pad(x.data, ((0, 0), (0, 0), (padding, padding),
+                             (padding, padding)))
+    else:
+        xp = x.data
+    cols, (n, ho, wo) = _im2col(xp, kh, kw, stride)     # (B*N*ho*wo, ic*kh*kw)
+    per = (rows // cohort) * ho * wo                     # rows per client
+    cols3 = cols.reshape(cohort, per, ic * kh * kw)
+    wmat3 = weight.data.reshape(cohort, oc, ic * kh * kw)
+    out3 = np.matmul(cols3, wmat3.transpose(0, 2, 1))    # (B, per, oc)
+    if bias is not None:
+        out3 += bias.data.reshape(cohort, 1, oc)
+    out_data = np.ascontiguousarray(
+        out3.reshape(rows, ho, wo, oc).transpose(0, 3, 1, 2))
+
+    if not (is_grad_enabled() and (x.requires_grad or weight.requires_grad or
+                                   (bias is not None and bias.requires_grad))):
+        return Tensor(out_data, dtype=out_data.dtype)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    xp_shape = xp.shape
+
+    def backward(g):
+        # Serial reshapes the transposed grad into (rows, oc) — a copy
+        # whenever spatial extent > 1; the folded copy has identical
+        # per-element values and per-client slices stay C-contiguous.
+        gmat = g.transpose(0, 2, 3, 1).reshape(rows * ho * wo, oc)
+        gmat3 = gmat.reshape(cohort, per, oc)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(gmat3.sum(axis=1), donate="fresh")
+        if weight.requires_grad:
+            weight._accumulate(
+                np.matmul(gmat3.transpose(0, 2, 1), cols3)
+                .reshape(weight.shape), donate="fresh")
+        if x.requires_grad:
+            dcols3 = np.matmul(gmat3, wmat3)             # (B, per, ic*kh*kw)
+            dcols = dcols3.reshape(rows * ho * wo, ic * kh * kw)
+            dxp = _col2im(dcols, xp_shape, kh, kw, stride, rows, ho, wo)
+            if padding:
+                dxp = dxp[:, :, padding:-padding, padding:-padding]
+            x._accumulate(dxp, donate="fresh")
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def linear_cohort(x: Tensor, weight: Tensor, bias: Tensor | None,
+                  cohort: int) -> Tensor:
+    """Batched affine map over ``cohort`` stacked clients.
+
+    ``x``: folded ``(B*N, in)``; ``weight``: stacked ``(B, out, in)``;
+    ``bias``: stacked ``(B, out)`` or None.  One node replaces the serial
+    three-node chain (transpose → matmul → broadcast add); the backward
+    reproduces each serial node's gradient arithmetic, including the
+    transposed-view GEMM operands (``x.T @ g`` per slice).
+    """
+    b_, fout, fin = weight.shape
+    rows = x.shape[0]
+    if b_ != cohort or rows % cohort:
+        raise CohortUnsupported(
+            f"linear: weight stack {b_} / folded rows {rows} do not match "
+            f"cohort size {cohort}")
+    n = rows // cohort
+    x3 = x.data.reshape(cohort, n, fin)
+    out3 = np.matmul(x3, weight.data.transpose(0, 2, 1))  # (B, n, out)
+    if bias is not None:
+        out3 = out3 + bias.data.reshape(cohort, 1, fout)
+    out_data = out3.reshape(rows, fout)
+
+    if not (is_grad_enabled() and (x.requires_grad or weight.requires_grad or
+                                   (bias is not None and bias.requires_grad))):
+        return Tensor(out_data, dtype=out_data.dtype)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    wd = weight.data
+
+    def backward(g):
+        g3 = g.reshape(cohort, n, fout)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(g3.sum(axis=1), donate="fresh")
+        if weight.requires_grad:
+            # Serial: the matmul node hands (x.T @ g) to the transpose
+            # node, which transposes it back for the leaf; keep both
+            # steps so the GEMM sees the same transposed-view operands.
+            gw = np.matmul(x3.transpose(0, 2, 1), g3)     # (B, in, out)
+            weight._accumulate(gw.transpose(0, 2, 1))
+        if x.requires_grad:
+            gx3 = np.matmul(g3, wd)                       # (B, n, in)
+            x._accumulate(gx3.reshape(rows, fin), donate="fresh")
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def batchnorm_cohort(bn, x: Tensor, cohort: int) -> Tensor:
+    """Batched training-mode batch norm over ``cohort`` stacked clients.
+
+    Views the folded input per-client — ``(B, N, C, H, W)`` for 2-D norm
+    — and mirrors :meth:`repro.nn.norm._BatchNorm.forward` with every
+    reduction carrying the leading client axis: serial ``(0, 2, 3)``
+    becomes ``(1, 3, 4)``, so slice b reduces exactly client b's rows.
+    Running stats, ``num_batches_tracked``, and the affine parameters
+    are stacked ``(B, ...)`` buffers updated elementwise.
+    """
+    if not bn.training:
+        raise CohortUnsupported("cohort batch norm is training-only; "
+                                "evaluation runs on per-client models")
+    rows = x.shape[0]
+    if rows % cohort:
+        raise CohortUnsupported(
+            f"batchnorm: folded rows {rows} not divisible by cohort "
+            f"{cohort}")
+    axes = tuple(a + 1 for a in bn._axes(x))         # (0,2,3) -> (1,3,4)
+    shape = (cohort,) + bn._shape(x)                 # (B, 1, C, 1, 1)
+    x5 = x.data.reshape((cohort, rows // cohort) + x.data.shape[1:])
+    per_size = x.data.size // cohort                 # one client's x.size
+    xhat = np.empty_like(x5)
+    mu = x5.mean(axis=axes, keepdims=True)
+    np.subtract(x5, mu, out=xhat)
+    sq = np.multiply(xhat, xhat)
+    var = sq.sum(axis=axes) / (per_size // bn.num_features)   # (B, C)
+    mean = mu.reshape(cohort, bn.num_features)
+    nred = per_size / bn.num_features
+    unbiased = var * nred / max(nred - 1, 1)
+    m = bn.momentum
+    bn.set_buffer("running_mean",
+                  (1 - m) * bn.running_mean + m * mean.astype(np.float32))
+    bn.set_buffer("running_var",
+                  (1 - m) * bn.running_var + m * unbiased.astype(np.float32))
+    bn.set_buffer("num_batches_tracked", bn.num_batches_tracked + 1)
+
+    inv_std = 1.0 / np.sqrt(var.reshape(shape) + bn.eps)
+    np.multiply(xhat, inv_std, out=xhat)
+
+    a, w, b = x, bn.weight, bn.bias
+    if bn.affine:
+        out5 = np.multiply(xhat, w.data.reshape(shape))
+        np.add(out5, b.data.reshape(shape), out=out5)
+    else:
+        out5 = xhat.copy()
+    out_data = out5.reshape(x.data.shape).astype(x.dtype, copy=False)
+
+    grad_needed = is_grad_enabled() and (
+        a.requires_grad or (w is not None and w.requires_grad)
+        or (b is not None and b.requires_grad))
+    if not grad_needed:
+        return Tensor(out_data, dtype=out_data.dtype)
+
+    def backward(g):
+        g5 = g.reshape(x5.shape)
+        if b is not None and b.requires_grad:
+            b._accumulate(g5.sum(axis=axes), donate="fresh")
+        if w is not None and w.requires_grad:
+            w._accumulate(np.multiply(g5, xhat).sum(axis=axes),
+                          donate="fresh")
+        if a.requires_grad:
+            if w is not None:
+                gx = np.multiply(g5, w.data.reshape(shape))
+            else:
+                gx = np.multiply(g5, 1.0)
+            gsum = gx.sum(axis=axes, keepdims=True)
+            scratch = np.multiply(gx, xhat)
+            gxhat_sum = scratch.sum(axis=axes, keepdims=True)
+            np.subtract(gx, gsum / nred, out=gx)
+            np.multiply(xhat, gxhat_sum, out=scratch)
+            np.divide(scratch, nred, out=scratch)
+            np.subtract(gx, scratch, out=gx)
+            np.multiply(gx, inv_std, out=gx)
+            a._accumulate(gx.reshape(g.shape).astype(x.dtype, copy=False),
+                          donate="fresh")
+
+    parents = (a,) if w is None else (a, w, b)
+    return Tensor._make(out_data, parents, backward)
+
+
+def cross_entropy_cohort(logits: Tensor, labels: np.ndarray,
+                         cohort: int) -> Tensor:
+    """Per-client mean cross-entropy over folded logits → ``(B,)`` losses.
+
+    The row-wise log-softmax (max-shift, exp, row sum, log) is identical
+    on folded rows; only the final mean and the backward's ``1/N`` grad
+    scale are per-client, and all clients in a folded step share N, so
+    the scale collapses to the same Python-float scalar serial uses.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    rows = logits.shape[0]
+    if rows % cohort:
+        raise CohortUnsupported(
+            f"cross_entropy: folded rows {rows} not divisible by cohort "
+            f"{cohort}")
+    n = rows // cohort
+    a = logits
+    m = logits.data.max(axis=1, keepdims=True)
+    shifted = logits.data - m
+    lse = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    logp = shifted - lse
+    idx = np.arange(rows)
+    picked = logp[idx, labels]
+    loss = np.empty(cohort, dtype=logits.dtype)
+    for c in range(cohort):
+        loss[c] = -(picked[c * n:(c + 1) * n].mean())
+    soft = np.exp(logp)
+
+    def backward(g):
+        grad = soft.copy()
+        grad[idx, labels] -= 1.0
+        for c in range(cohort):
+            grad[c * n:(c + 1) * n] *= float(g[c]) / n
+        a._accumulate(grad, donate="fresh")
+
+    return Tensor._make(loss, (a,), backward)
+
+
+def sgd_step_cohort(named_params, lr: float, momentum: float,
+                    weight_decay: float,
+                    velocity: dict[str, np.ndarray]) -> None:
+    """One batched SGD step over stacked parameters.
+
+    Mirrors :meth:`repro.optim.SGD.step` gate-for-gate and op-for-op on
+    the ``(B, ...)`` stacks — weight decay, momentum, and the learning-
+    rate product are elementwise with the same scalars, so slice b of
+    every stack steps exactly as client b's serial optimizer would.
+    ``velocity`` maps parameter name → stacked buffer (zeros at round
+    start, like the serial optimizer's lazily-created state).
+    """
+    for name, p in named_params:
+        if p.grad is None:
+            continue
+        g = p.grad
+        if weight_decay:
+            g = np.add(g, np.multiply(p.data, weight_decay))
+        if momentum:
+            v = velocity[name]
+            v *= momentum
+            v += g
+            g = v
+        np.subtract(p.data, np.multiply(g, lr), out=p.data)

@@ -125,7 +125,14 @@ class Module:
                 missing.append(name)
         for name, (owner, local) in buffer_owners.items():
             if name in state:
-                owner.set_buffer(local, np.asarray(state[name]))
+                arr = np.asarray(state[name])
+                if not arr.flags.writeable:
+                    # set_buffer keeps a reference, and a read-only array
+                    # here is typically a zero-copy wire view whose buffer
+                    # (e.g. a shared-memory segment) the sender may reuse;
+                    # detach so the buffer stays mutable and owned.
+                    arr = arr.copy()
+                owner.set_buffer(local, arr)
             elif strict:
                 missing.append(name)
         if strict:

@@ -1,0 +1,76 @@
+"""Regression gate of ``benchmarks/bench_parallel.py --check``.
+
+The bench's :func:`check_rows` is the CI tripwire for executor
+performance regressions: it must flag a byte-identity break, a process
+pool slower than serial beyond the documented fan-out tolerance, and a
+vectorized run that fails to beat serial — and stay silent on the
+measured-good sweep shape.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_BENCH = Path(__file__).resolve().parent.parent / "benchmarks" \
+    / "bench_parallel.py"
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location("bench_parallel", _BENCH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _row(executor, speedup, identical=True):
+    return {"executor": executor, "speedup_vs_serial": speedup,
+            "byte_identical_to_serial": identical}
+
+
+def test_good_sweep_passes(bench):
+    rows = [_row("serial", 1.0), _row("process:2", 0.88),
+            _row("process:2+shm", 0.85), _row("vectorized", 1.13)]
+    assert bench.check_rows(rows) == []
+
+
+def test_identity_break_fails(bench):
+    rows = [_row("serial", 1.0), _row("vectorized", 1.2, identical=False)]
+    errors = bench.check_rows(rows)
+    assert len(errors) == 1 and "diverged" in errors[0]
+
+
+def test_slow_process_pool_fails(bench):
+    """workers>1 slower than serial beyond the fan-out tolerance trips."""
+    rows = [_row("serial", 1.0), _row("process:2", 0.4)]
+    errors = bench.check_rows(rows)
+    assert len(errors) == 1
+    assert "process:2" in errors[0] and "below" in errors[0]
+
+
+def test_vectorized_must_beat_serial(bench):
+    rows = [_row("serial", 1.0), _row("vectorized", 0.97)]
+    errors = bench.check_rows(rows)
+    assert len(errors) == 1 and "vectorized" in errors[0]
+
+
+def test_custom_floors_override_defaults(bench):
+    rows = [_row("process:4", 0.5)]
+    assert bench.check_rows(rows, floors={"process": 0.4}) == []
+    assert bench.check_rows(rows, floors={"process": 0.6}) != []
+
+
+def test_spec_parsing(bench):
+    assert bench.parse_spec("process:4+shm") == {
+        "spec": "process:4+shm", "kind": "process", "workers": 4,
+        "shm": True}
+    assert bench.parse_spec("vectorized")["kind"] == "vectorized"
+    with pytest.raises(ValueError):
+        bench.parse_spec("process")          # missing width
+    with pytest.raises(ValueError):
+        bench.parse_spec("serial+shm")       # shm needs a process pool
+    with pytest.raises(ValueError):
+        bench.parse_spec("threads:2")

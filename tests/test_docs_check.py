@@ -1,8 +1,9 @@
 """The docs-check CI gate works in both directions (tools/docs_check.py).
 
-Asserts the current tree passes, and that the check is not vacuous: it
-must fail if ``--workers`` disappeared from README.md or a ``DESIGN.md
-§N`` reference pointed at a missing section.
+Asserts the current tree passes, and that the checks are not vacuous:
+they must fail if ``--workers`` disappeared from README.md, if README
+mentioned a flag nothing defines, or if a ``DESIGN.md §N`` reference
+pointed at a missing section.
 """
 
 import importlib.util
@@ -31,6 +32,28 @@ def test_removing_workers_from_readme_fails():
     readme = (REPO_ROOT / "README.md").read_text()
     stripped = readme.replace("--workers", "")
     assert "--workers" in docs_check.undocumented_flags(stripped)
+
+
+def test_readme_mentions_only_known_flags():
+    """The reverse direction: every --flag README mentions is defined by
+    the CLI parser, a benchmark/tool/example script, or the external
+    allowlist."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    known = docs_check.known_flags()
+    assert docs_check.unknown_readme_flags(readme, known) == []
+    # the allowlist and the scrape both feed the known set
+    assert "--benchmark-only" in known          # external (pytest-benchmark)
+    assert "--executors" in known               # scraped from bench_parallel
+    assert "--shm" in known                     # repro.cli parser
+
+
+def test_phantom_readme_flag_fails():
+    """The reverse check is live: a flag nothing defines is a failure."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    doctored = readme + "\nRun with `--does-not-exist` for magic.\n"
+    unknown = docs_check.unknown_readme_flags(doctored,
+                                              docs_check.known_flags())
+    assert unknown == ["--does-not-exist"]
 
 
 def test_dangling_design_reference_fails():

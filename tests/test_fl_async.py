@@ -250,6 +250,26 @@ class TestDedupAndBufferInvariant:
         up_entries = sum(len(d) for d in runner.algo.ledger.uplink.values())
         assert up_entries <= c["accepted"]  # (same round+client merges)
 
+    def test_dedup_eviction_counter_exported_to_metrics(self):
+        """FIFO evictions of the bounded fingerprint registry land in both
+        ``runner.dedup_evictions`` and the ``async.dedup_evictions``
+        registry counter."""
+        from repro.obs.metrics import MetricsRegistry, set_registry
+
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            runner = _stub_runner(n_clients=6, profile=AsyncProfile(seed=2),
+                                  dedup_capacity=1)
+            runner.run(steps=10)
+        finally:
+            set_registry(previous)
+        assert runner.dedup_evictions > 0
+        assert len(runner._fp_registry) <= 1
+        counters = registry.snapshot()["counters"]
+        assert counters.get("async.dedup_evictions") \
+            == runner.dedup_evictions
+
     def test_buffer_invariant_under_hostility(self):
         runner = _stub_runner()
         runner.run(steps=50)

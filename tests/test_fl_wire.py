@@ -357,6 +357,24 @@ class TestBroadcastCache:
         cache.encode(down, token=1, channel="down", checksums=True)
         assert cache.hits == 3
 
+    def test_eviction_counter_exported_to_metrics(self):
+        """LRU evictions land in both ``cache.evictions`` and the
+        ``wire.broadcast_evictions`` registry counter."""
+        from repro.obs.metrics import MetricsRegistry, set_registry
+
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            cache = BroadcastCache(max_entries=2)
+            for i in range(5):
+                cache.encode({"w": np.full(3, float(i), dtype=np.float32)},
+                             token=i, channel=f"ch{i}")
+        finally:
+            set_registry(previous)
+        assert cache.evictions == 3
+        counters = registry.snapshot()["counters"]
+        assert counters.get("wire.broadcast_evictions") == 3
+
     def test_pickles_cold(self):
         cache = BroadcastCache()
         state = _rand_state(10)

@@ -1,11 +1,16 @@
 """CI docs-check: keep user-facing docs in sync with the code.
 
-Two invariants, both cheap and mechanical so they can gate CI:
+Three invariants, all cheap and mechanical so they can gate CI:
 
 1. **CLI coverage** — every option flag exposed by ``repro.cli`` must be
    mentioned in README.md.  PRs 1-2 added whole flag groups without
    README coverage; this check makes that class of drift a CI failure.
-2. **DESIGN section references** — every ``DESIGN.md §N`` reference in
+2. **Flag existence** — the reverse direction: every ``--flag`` README
+   mentions must be defined somewhere — the ``repro.cli`` parser, an
+   ``add_argument`` in a benchmark/tool/example script, or the short
+   allowlist of external-tool flags (``pytest --benchmark-only``).
+   Renaming or deleting a flag without sweeping README is a CI failure.
+3. **DESIGN section references** — every ``DESIGN.md §N`` reference in
    the source tree and docs must point at an existing ``## N.`` heading,
    so refactoring DESIGN.md cannot silently strand pointers.
 
@@ -32,6 +37,16 @@ _REF_GLOBS = ("src/**/*.py", "benchmarks/**/*.py", "tests/**/*.py",
 _SECTION_REF = re.compile(r"DESIGN(?:\.md)?`?\s*§(\d+)")
 _SECTION_HEADING = re.compile(r"^## (\d+)\.", re.MULTILINE)
 
+# Scripts (outside ``repro.cli``) whose argparse flags README may
+# legitimately mention, scraped from source rather than imported so a
+# script with heavyweight imports never has to run to be checked.
+_SCRIPT_GLOBS = ("benchmarks/*.py", "tools/*.py", "examples/*.py")
+_ADD_ARGUMENT = re.compile(r"add_argument\(\s*\"(--[A-Za-z][\w-]*)\"")
+_FLAG_MENTION = re.compile(r"--[A-Za-z][\w-]*")
+
+#: Flags owned by external tools that README documents invoking.
+_EXTERNAL_FLAGS = frozenset({"--benchmark-only"})  # pytest-benchmark
+
 
 def undocumented_flags(readme_text: str, parser=None) -> list[str]:
     """CLI option strings (``--foo``) that README.md never mentions."""
@@ -44,6 +59,30 @@ def undocumented_flags(readme_text: str, parser=None) -> list[str]:
             if option.startswith("--") and option not in readme_text:
                 missing.append(option)
     return sorted(set(missing))
+
+
+def known_flags(root: Path = REPO_ROOT, parser=None) -> set[str]:
+    """Every ``--flag`` README is allowed to mention: the ``repro.cli``
+    parser's option strings, ``add_argument`` flags scraped from the
+    benchmark/tool/example scripts, and the external-tool allowlist."""
+    if parser is None:
+        from repro.cli import build_parser
+        parser = build_parser()
+    flags = {option for action in parser._actions
+             for option in action.option_strings if option.startswith("--")}
+    for pattern in _SCRIPT_GLOBS:
+        for path in sorted(root.glob(pattern)):
+            try:
+                flags.update(_ADD_ARGUMENT.findall(path.read_text()))
+            except (OSError, UnicodeDecodeError):
+                continue
+    return flags | _EXTERNAL_FLAGS
+
+
+def unknown_readme_flags(readme_text: str, known: set[str]) -> list[str]:
+    """Flags README mentions that no parser or script defines."""
+    return sorted({flag for flag in _FLAG_MENTION.findall(readme_text)
+                   if flag not in known})
 
 
 def referenced_design_sections(root: Path = REPO_ROOT) -> dict[str, set[str]]:
@@ -76,6 +115,11 @@ def main() -> int:
     readme = (REPO_ROOT / "README.md").read_text()
     for flag in undocumented_flags(readme):
         print(f"docs-check: CLI flag {flag} is not documented in README.md")
+        failures += 1
+
+    for flag in unknown_readme_flags(readme, known_flags()):
+        print(f"docs-check: README.md mentions {flag} but no parser or "
+              f"script defines it")
         failures += 1
 
     design = (REPO_ROOT / "DESIGN.md").read_text()
