@@ -309,7 +309,7 @@ def main(argv=None) -> int:
     print(f"loop_overhead      {cases[-1]['us_per_event']}us/event "
           f"({cases[-1]['events']} events in {cases[-1]['total_s']}s)")
 
-    from repro.obs.metrics import observe_peak_rss
+    from repro.obs.metrics import blas_env, observe_peak_rss
     record = {
         "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "smoke": args.smoke,
@@ -317,6 +317,7 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
         "numpy": __import__("numpy").__version__,
         "peak_rss_bytes": observe_peak_rss(),
+        "env": blas_env(),
         "cases": cases,
     }
     out = Path(args.out)

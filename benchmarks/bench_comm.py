@@ -315,7 +315,7 @@ def main(argv=None) -> int:
               f"off={row['no_broadcast_round_s']:7.2f}s/round "
               f"speedup={row['speedup']:5.2f}x [{status}]")
 
-    from repro.obs.metrics import observe_peak_rss
+    from repro.obs.metrics import blas_env, observe_peak_rss
     record = {
         "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "smoke": args.smoke,
@@ -324,6 +324,7 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
         "numpy": __import__("numpy").__version__,
         "peak_rss_bytes": observe_peak_rss(),
+        "env": blas_env(),
         "micro": micro,
         "e2e": e2e,
     }

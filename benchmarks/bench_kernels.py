@@ -25,6 +25,16 @@ committed baseline *before* overwriting it and exits non-zero if any op
 regressed more than ``--check-factor`` (default 1.5x) beyond a 0.15ms
 absolute noise floor (sub-ms ops at low repeat counts jitter more than
 50% on a busy CI core), or if an e2e run was not byte-identical.
+
+It also enforces a speedup *floor* (``--min-speedup``, default 0.97):
+every optimized kernel must at least match its reference implementation.
+The floor always applies to the committed baseline's rows — so a "fix"
+that quietly makes a kernel slower than the code it replaced cannot be
+committed — and to live rows on full runs; smoke runs skip the live
+floor since single-digit-repeat timings on a shared core jitter past
+any honest threshold.  The committed baseline reflects the §10 kernels
+plus the avg-pool-backward and SGD-step micro fixes that brought those
+two rows back above parity.
 """
 
 from __future__ import annotations
@@ -253,20 +263,39 @@ def e2e_case(model_name: str, rounds: int, clients: int, samples: int,
 # regression gate                                                        #
 # --------------------------------------------------------------------- #
 def check_regressions(record: dict, baseline_doc: str | None,
-                      factor: float) -> list[str]:
+                      factor: float, min_speedup: float = 0.97) -> list[str]:
     """Failures of the current record against the committed baseline
     (passed as the baseline file's *pre-run* text, since the run may have
-    overwritten it)."""
+    overwritten it).
+
+    Besides the live-vs-baseline slowdown ratio, the gate enforces a
+    speedup *floor*: no micro row may sit below ``min_speedup`` vs the
+    reference kernels.  The floor is checked on the committed baseline
+    rows always (they were measured min-of-50 on a quiet box, so a
+    below-1.0x row there is a real regression, not jitter) and on the
+    live rows for full runs; smoke runs skip the live floor because
+    min-of-15 on a shared CI core jitters past any honest threshold.
+    """
     failures = []
     for row in record["e2e"]:
         if not row["byte_identical"]:
             failures.append(f"e2e {row['model']}: state not byte-identical")
+
+    def floor_failures(micro_rows, which: str):
+        for m in micro_rows:
+            if m["speedup"] < min_speedup:
+                yield (f"micro {m['name']}: {which} speedup "
+                       f"{m['speedup']:.2f}x below the {min_speedup}x floor")
+
+    if not record.get("smoke"):
+        failures.extend(floor_failures(record["micro"], "live"))
     if baseline_doc is None:
         return failures + ["no committed baseline to check against"]
     try:
         baseline = json.loads(baseline_doc)
     except json.JSONDecodeError as exc:
         return failures + [f"unreadable baseline: {exc}"]
+    failures.extend(floor_failures(baseline.get("micro", []), "baseline"))
     base_micro = {m["name"]: m for m in baseline.get("micro", [])}
     for m in record["micro"]:
         base = base_micro.get(m["name"])
@@ -290,6 +319,9 @@ def main(argv=None) -> int:
                         help="fail on regression vs the committed baseline")
     parser.add_argument("--check-factor", type=float, default=1.5,
                         help="allowed slowdown factor for --check")
+    parser.add_argument("--min-speedup", type=float, default=0.97,
+                        help="--check floor: micro rows below this speedup "
+                             "vs the reference kernels fail the gate")
     parser.add_argument("--repeats", type=int, default=None,
                         help="micro repeats (default 50, smoke 15)")
     parser.add_argument("--rounds", type=int, default=None,
@@ -327,7 +359,7 @@ def main(argv=None) -> int:
               f"ref={row['ref_round_s']:7.2f}s/round "
               f"speedup={row['speedup']:5.2f}x [{status}]")
 
-    from repro.obs.metrics import observe_peak_rss
+    from repro.obs.metrics import blas_env, observe_peak_rss
     record = {
         "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "smoke": args.smoke,
@@ -336,6 +368,7 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
         "numpy": __import__("numpy").__version__,
         "peak_rss_bytes": observe_peak_rss(),
+        "env": blas_env(),
         "micro": micro,
         "e2e": e2e,
     }
@@ -344,7 +377,8 @@ def main(argv=None) -> int:
     print(f"written to {out}")
 
     if args.check:
-        failures = check_regressions(record, baseline_doc, args.check_factor)
+        failures = check_regressions(record, baseline_doc, args.check_factor,
+                                     min_speedup=args.min_speedup)
         for f in failures:
             print(f"REGRESSION: {f}")
         return 1 if failures else 0

@@ -169,7 +169,7 @@ def main(argv=None) -> int:
         print(f"{spec['spec']:16s}  wall={wall:8.2f}s  "
               f"speedup={baseline_wall / wall:5.2f}x  [{status}]")
 
-    from repro.obs.metrics import observe_peak_rss
+    from repro.obs.metrics import blas_env, observe_peak_rss
     record = {
         "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "scale": args.scale,
@@ -179,6 +179,7 @@ def main(argv=None) -> int:
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "peak_rss_bytes": observe_peak_rss(),
+        "env": blas_env(),
         "results": rows,
     }
     out = Path(args.out)

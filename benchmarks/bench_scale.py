@@ -241,7 +241,7 @@ def main(argv=None) -> int:
                   f"round={case['round_seconds']:7.2f}s  "
                   f"crc={case['state_crc']:#010x}")
 
-    from repro.obs.metrics import observe_peak_rss
+    from repro.obs.metrics import blas_env, observe_peak_rss
     record = {
         "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "smoke": bool(args.smoke),
@@ -252,6 +252,7 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
         "numpy": np.__version__,
         "peak_rss_bytes": observe_peak_rss(),
+        "env": blas_env(),
         "cases": cases,
     }
     out = Path(args.out)

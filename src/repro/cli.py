@@ -54,7 +54,7 @@ def _cfg(args, **extra):
                      fault_seed=args.fault_seed,
                      min_clients=args.min_clients,
                      workers=args.workers, executor=args.executor,
-                     shm=args.shm)
+                     shm=args.shm, compile=args.compile)
     if args.rounds:
         overrides["rounds"] = args.rounds
     overrides.update(extra)
@@ -361,6 +361,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "segment (workers deserialize it zero-copy) "
                              "instead of the task pickle stream; needs "
                              "--workers >= 2")
+    parser.add_argument("--compile", action="store_true",
+                        help="trace-and-replay step compiler (DESIGN.md "
+                             "§15): capture each local training step once "
+                             "per (model, batch-signature), then replay it "
+                             "with static memory planning and fused "
+                             "elementwise kernels.  Byte-identical to the "
+                             "eager loop; unsupported steps fall back "
+                             "automatically.")
     faults = parser.add_argument_group(
         "fault injection",
         "Seeded failure simulation; all defaults leave the fault path off "

@@ -135,7 +135,8 @@ class SPATL(FederatedAlgorithm):
                                      momentum=self.momentum,
                                      weight_decay=self.weight_decay,
                                      max_grad_norm=self.max_grad_norm,
-                                     correction_hook=hook)
+                                     correction_hook=hook,
+                                     compiler=self.step_compiler)
         after = {n: p.data.copy()
                  for n, p in self._work.encoder.named_parameters()}
 

@@ -74,6 +74,11 @@ class ExperimentConfig:
     workers: int = 1
     executor: str = "auto"
     shm: bool = False
+    # Trace-and-replay step compiler (DESIGN.md §15): capture each local
+    # training step once per (model, batch-signature) and replay it with
+    # static memory planning.  Byte-identical to eager execution; off by
+    # default so baseline runs keep the untouched eager loop.
+    compile: bool = False
 
     def scaled(self, **overrides) -> "ExperimentConfig":
         return replace(self, **overrides)
@@ -174,6 +179,8 @@ def make_algorithm(name: str, cfg: ExperimentConfig, model_fn, clients,
     if cfg.workers > 1 or cfg.executor != "auto" or cfg.shm:
         common["executor"] = make_executor(cfg.workers, kind=cfg.executor,
                                            shm=cfg.shm)
+    if cfg.compile:
+        common["compile_steps"] = True
     fault_model = make_fault_model(cfg)
     if fault_model is not None:
         common.update(fault_model=fault_model,

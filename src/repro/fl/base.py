@@ -97,7 +97,8 @@ class FederatedAlgorithm:
                  fault_model: FaultModel | None = None,
                  retry_policy: RetryPolicy | None = None,
                  min_clients: int = 1, max_round_resamples: int = 3,
-                 executor: RoundExecutor | None = None):
+                 executor: RoundExecutor | None = None,
+                 compile_steps: bool = False):
         self.model_fn = model_fn
         self.clients = list(clients)
         if not self.clients:
@@ -145,6 +146,16 @@ class FederatedAlgorithm:
         # original in-process loop; ProcessPoolRoundExecutor fans clients
         # out over worker processes with a deterministic ordered commit.
         self.executor: RoundExecutor = executor or SerialExecutor()
+        # Trace-and-replay step executor (DESIGN.md §15): captures each
+        # (model, batch-signature) training step once and replays it with
+        # static memory planning.  Byte-identical to eager, so it composes
+        # with every algorithm/executor/fault configuration; ``None`` keeps
+        # the plain eager loop.
+        if compile_steps:
+            from repro.tensor.compile import StepCompiler
+            self.step_compiler = StepCompiler()
+        else:
+            self.step_compiler = None
 
     def epochs_for(self, client: Client, round_idx: int) -> int:
         """Local epochs this client runs this round.

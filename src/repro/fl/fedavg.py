@@ -40,7 +40,8 @@ class FedAvg(FederatedAlgorithm):
                                   epochs=self.epochs_for(client, round_idx), lr=self.lr,
                                   momentum=self.momentum,
                                   weight_decay=self.weight_decay,
-                                  max_grad_norm=self.max_grad_norm)
+                                  max_grad_norm=self.max_grad_norm,
+                                  compiler=self.step_compiler)
         return {"state": self._work.state_dict(), "n": client.num_train,
                 "train_loss": loss, "steps": steps}
 

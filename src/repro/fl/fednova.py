@@ -73,7 +73,8 @@ class FedNova(FederatedAlgorithm):
                                        epochs=self.epochs_for(client, round_idx), lr=self.lr,
                                        momentum=self.momentum,
                                        weight_decay=self.weight_decay,
-                                       max_grad_norm=self.max_grad_norm)
+                                       max_grad_norm=self.max_grad_norm,
+                                       compiler=self.step_compiler)
         a_i = max(self._effective_steps(steps), 1e-8)
         delta = {n: (before[n] - p.data) / a_i
                  for n, p in self._work.named_parameters()}

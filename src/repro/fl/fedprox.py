@@ -46,6 +46,7 @@ class FedProx(FedAvg):
                                   momentum=self.momentum,
                                   weight_decay=self.weight_decay,
                                   max_grad_norm=self.max_grad_norm,
-                                  correction_hook=proximal)
+                                  correction_hook=proximal,
+                                  compiler=self.step_compiler)
         return {"state": self._work.state_dict(), "n": client.num_train,
                 "train_loss": loss, "steps": steps}

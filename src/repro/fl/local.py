@@ -28,7 +28,8 @@ def train_local(model, client: Client, round_idx: int, epochs: int, lr: float,
                 max_grad_norm: float | None = None,
                 correction_hook: Callable | None = None,
                 param_filter: Callable[[str], bool] | None = None,
-                extra_loss: Callable | None = None) -> tuple[float, int]:
+                extra_loss: Callable | None = None,
+                compiler=None) -> tuple[float, int]:
     """Run ``epochs`` of SGD on the client's shard.
 
     Parameters
@@ -42,6 +43,11 @@ def train_local(model, client: Client, round_idx: int, epochs: int, lr: float,
     extra_loss:
         Additional differentiable loss term given the model, added to the
         cross-entropy (FedProx's proximal term plugs in here).
+    compiler:
+        Optional :class:`~repro.tensor.compile.StepCompiler`.  When given,
+        each step is attempted as a compiled replay (byte-identical to the
+        eager step); steps the compiler cannot replay — unsupported graph
+        shapes, active channel masks, an ``extra_loss`` — run eagerly.
 
     Returns ``(mean train loss, number of optimizer steps, optimizer)`` —
     the optimizer is returned so algorithms that communicate local optimizer
@@ -60,14 +66,20 @@ def train_local(model, client: Client, round_idx: int, epochs: int, lr: float,
                            client=client.client_id, epochs=epochs) as span:
         for epoch in range(epochs):
             for xb, yb in client.train_loader(round_idx * 1000 + epoch):
-                logits = model(Tensor(xb))
-                loss = F.cross_entropy(logits, yb)
-                if extra_loss is not None:
-                    loss = loss + extra_loss(model)
-                model.zero_grad()
-                loss.backward()
+                loss_val = None
+                if compiler is not None:
+                    loss_val = compiler.try_step(model, xb, yb,
+                                                 extra_loss=extra_loss)
+                if loss_val is None:
+                    logits = model(Tensor(xb))
+                    loss = F.cross_entropy(logits, yb)
+                    if extra_loss is not None:
+                        loss = loss + extra_loss(model)
+                    model.zero_grad()
+                    loss.backward()
+                    loss_val = loss.item()
                 opt.step()
-                loss_avg.update(loss.item(), len(yb))
+                loss_avg.update(loss_val, len(yb))
                 steps += 1
         span.set(steps=steps, train_loss=loss_avg.value)
     return loss_avg.value, steps, opt

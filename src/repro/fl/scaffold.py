@@ -86,7 +86,8 @@ class Scaffold(FederatedAlgorithm):
                                      momentum=self.momentum,
                                      weight_decay=self.weight_decay,
                                      max_grad_norm=self.max_grad_norm,
-                                     correction_hook=control)
+                                     correction_hook=control,
+                                     compiler=self.step_compiler)
         k_eta = max(steps, 1) * self.lr
         delta_w = {n: p.data - before[n] for n, p in self._work.named_parameters()}
         c_i_new = {n: c_i[n] - c[n] - delta_w[n] / k_eta for n in c_i}

@@ -55,7 +55,8 @@ class FedTopK(FederatedAlgorithm):
                                      epochs=self.epochs_for(client, round_idx),
                                      lr=self.lr, momentum=self.momentum,
                                      weight_decay=self.weight_decay,
-                                     max_grad_norm=self.max_grad_norm)
+                                     max_grad_norm=self.max_grad_norm,
+                                     compiler=self.step_compiler)
         residual = client.local_state.setdefault("residual", {})
         sparse: dict[str, tuple[np.ndarray, np.ndarray]] = {}
         for n, p in self._work.named_parameters():

@@ -96,13 +96,17 @@ def _col2im(dcols: np.ndarray, x_shape: tuple[int, int, int, int], kh: int,
 
 def _forward_data(xdata: np.ndarray, wdata: np.ndarray,
                   bdata: np.ndarray | None, stride: int, padding: int,
-                  ws: workspace.WorkspaceSlot | None):
+                  ws: workspace.WorkspaceSlot | None,
+                  out_arr: np.ndarray | None = None):
     """Shared forward arithmetic for the autodiff and inference paths.
 
     Returns ``(out_data, cols, wmat, xp_shape, n, ho, wo)`` — ``out_data``
-    is always freshly allocated (it becomes a graph node's payload);
-    ``cols`` may be an arena buffer (captured by the backward closure
-    under the one-forward-per-backward discipline).
+    is freshly allocated (it becomes a graph node's payload) unless the
+    caller supplies ``out_arr``, a C-contiguous (N, C_out, Ho, Wo) buffer
+    the result is written into instead (the step compiler's replay path
+    owns its output placement); ``cols`` may be an arena buffer (captured
+    by the backward closure under the one-forward-per-backward
+    discipline).
     """
     out_c = wdata.shape[0]
     kh, kw = wdata.shape[2], wdata.shape[3]
@@ -152,8 +156,12 @@ def _forward_data(xdata: np.ndarray, wdata: np.ndarray,
         np.matmul(cols, wmat.T, out=out)
     if bdata is not None:
         out += bdata
-    out_data = np.ascontiguousarray(
-        out.reshape(n, ho, wo, out_c).transpose(0, 3, 1, 2))
+    if out_arr is None:
+        out_data = np.ascontiguousarray(
+            out.reshape(n, ho, wo, out_c).transpose(0, 3, 1, 2))
+    else:
+        np.copyto(out_arr, out.reshape(n, ho, wo, out_c).transpose(0, 3, 1, 2))
+        out_data = out_arr
     return out_data, cols, wmat, xp.shape, n, ho, wo
 
 

@@ -4,8 +4,9 @@ The pooling backwards are vectorized (DESIGN.md §10): max-pool scatter
 uses flat-index assignment (windows are disjoint for ``stride >= k``, so
 every input cell receives at most one gradient and plain fancy-index
 assignment replaces ``np.add.at``), falling back to ``np.bincount`` for
-overlapping windows; average-pool writes the broadcast gradient through
-a strided view instead of a Python k×k loop.  For the non-overlapping
+overlapping windows; average-pool writes the scaled gradient through
+k*k strided assignments into an arena buffer (skipping the zero-fill
+entirely when the window tiling covers the input).  For the non-overlapping
 configurations the models use, results are byte-identical to the
 original formulation (see :mod:`repro.nn.reference`); the overlapping
 ``np.bincount`` path accumulates in float64 and is covered by float64
@@ -15,7 +16,7 @@ gradchecks instead.
 from __future__ import annotations
 
 import numpy as np
-from numpy.lib.stride_tricks import as_strided, sliding_window_view
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.nn.module import Module
 from repro.tensor import workspace
@@ -77,7 +78,8 @@ def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None,
     return Tensor._make(out_data, (a,), backward)
 
 
-def avg_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:
+def avg_pool2d(x: Tensor, kernel_size: int, stride: int | None = None,
+               ws: workspace.WorkspaceSlot | None = None) -> Tensor:
     """Average pooling with square window; stride defaults to window size."""
     k = kernel_size
     s = stride or k
@@ -93,17 +95,36 @@ def avg_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor
     a = x
 
     def backward(g):
+        if s == k:
+            # Non-overlapping tiling: k*k strided assignments of the
+            # scaled gradient, each writing every window's (i, j) tap in
+            # one pass — no scatter, and (when the tiling covers the
+            # input exactly) nothing to zero first.  dx and the scaled
+            # gradient come from the arena when the consumer can take
+            # scratch (non-leaf input); a leaf input gets a fresh array
+            # since leaves never alias arena memory.
+            covered = (h == ho * k and w == wo * k)
+            if ws is not None and a._backward is not None:
+                dx = ws.buffer("avgpool.dx", a.data.shape, a.data.dtype,
+                               zero="never" if covered else "always")
+                donate = "scratch"
+            else:
+                dx = (np.empty_like(a.data) if covered
+                      else np.zeros_like(a.data))
+                donate = "fresh"
+            if ws is not None:
+                gk = ws.buffer("avgpool.gk", g.shape, g.dtype)
+                np.divide(g, k * k, gk)
+            else:
+                gk = g / (k * k)
+            for i in range(k):
+                for j in range(k):
+                    dx[:, :, i:i + s * ho:s, j:j + s * wo:s] = gk
+            a._accumulate(dx, donate=donate)
+            return
         dx = np.zeros_like(a.data)
         gk = g / (k * k)
-        if s == k:
-            # Non-overlapping tiling: write the broadcast gradient through
-            # a (N, C, Ho, k, Wo, k) strided view of dx in one pass.
-            st = dx.strides
-            tiles = as_strided(dx, shape=(n, c, ho, k, wo, k),
-                               strides=(st[0], st[1], st[2] * k, st[2],
-                                        st[3] * k, st[3]))
-            np.copyto(tiles, gk[:, :, :, None, :, None])
-        elif s > k:
+        if s > k:
             # Disjoint but gapped windows: the strided-slice adds touch
             # each cell once, so the original formulation is already exact.
             for i in range(k):
@@ -149,7 +170,8 @@ class AvgPool2d(Module):
         self.stride = stride or kernel_size
 
     def forward(self, x: Tensor) -> Tensor:
-        return avg_pool2d(x, self.kernel_size, self.stride)
+        return avg_pool2d(x, self.kernel_size, self.stride,
+                          ws=workspace.slot_for(self))
 
     def __repr__(self) -> str:
         return f"AvgPool2d(k={self.kernel_size}, s={self.stride})"

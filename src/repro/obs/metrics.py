@@ -223,6 +223,36 @@ def peak_rss_bytes() -> int:
     return int(peak) * 1024
 
 
+def blas_env() -> dict:
+    """The BLAS/threadpool environment a numerical benchmark ran under.
+
+    BENCH_*.json trajectories are only comparable when the linear-algebra
+    backend and its thread budget match, so every ``bench_*.py`` record
+    embeds this snapshot: the detected BLAS implementation (from
+    ``numpy.show_config``), the ``*_NUM_THREADS`` knobs that cap its
+    threadpools, and the machine's CPU count.  Unset knobs record as
+    ``None`` (backend default: all cores).
+    """
+    import os
+
+    import numpy as np
+
+    backend = "unknown"
+    try:
+        cfg = np.show_config(mode="dicts")
+        blas = cfg.get("Build Dependencies", {}).get("blas", {})
+        backend = blas.get("name", "unknown")
+        version = blas.get("version")
+        if version:
+            backend = f"{backend} {version}"
+    except (TypeError, AttributeError):  # pragma: no cover - numpy < 1.25
+        pass
+    threads = {var: os.environ.get(var)
+               for var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
+                           "MKL_NUM_THREADS")}
+    return {"blas": backend, "cpu_count": os.cpu_count(), **threads}
+
+
 def observe_peak_rss(registry: "MetricsRegistry | None" = None) -> int:
     """Record :func:`peak_rss_bytes` into the ``proc.peak_rss_bytes``
     gauge (default registry unless one is given); returns the value."""

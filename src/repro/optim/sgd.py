@@ -54,12 +54,14 @@ class SGD:
         self.max_grad_norm = max_grad_norm
         self._velocity: dict[str, np.ndarray] = {}
         self._hooks: list[CorrectionHook] = []
-        # Per-parameter scratch (g/decay/lrg) resolved through the arena
-        # once and then held directly: arena buffers are never evicted,
-        # so a retained reference stays the canonical buffer, and skipping
-        # the keyed lookup keeps the per-param step cost below the small
-        # allocations it replaces.
-        self._scratch: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        # Flat per-parameter step plan (name, param, g/decay/lrg arena
+        # buffers), resolved through the arena once on the first step and
+        # then iterated directly: arena buffers are never evicted, so the
+        # retained references stay canonical, and a plain list walk beats
+        # the per-step keyed lookups for the many tiny parameters a
+        # resnet20-scale model carries.
+        self._plan: list[tuple[str, Parameter, np.ndarray, np.ndarray,
+                               np.ndarray]] | None = None
 
     def add_correction_hook(self, hook: CorrectionHook) -> None:
         """Register a per-parameter gradient correction (applied in order)."""
@@ -94,38 +96,44 @@ class SGD:
             norm = self._global_grad_norm()
             if norm > self.max_grad_norm:
                 scale = self.max_grad_norm / (norm + 1e-12)
-        ws = workspace.slot_for(self)
-        for name, p in self.params:
-            if p.grad is None:
-                continue
-            scratch = self._scratch.get(name)
-            if scratch is None:
-                shape, dt = p.data.shape, p.data.dtype
-                scratch = self._scratch[name] = (
-                    ws.buffer("sgd.g", shape, dt),
-                    ws.buffer("sgd.decay", shape, dt),
-                    ws.buffer("sgd.lrg", shape, dt))
-            gbuf, decay, lrg = scratch
+        plan = self._plan
+        if plan is None:
+            ws = workspace.slot_for(self)
+            plan = self._plan = [
+                (name, p,
+                 ws.buffer("sgd.g", p.data.shape, p.data.dtype),
+                 ws.buffer("sgd.decay", p.data.shape, p.data.dtype),
+                 ws.buffer("sgd.lrg", p.data.shape, p.data.dtype))
+                for name, p in self.params]
+        lr = self.lr
+        momentum = self.momentum
+        weight_decay = self.weight_decay
+        hooks = self._hooks
+        velocity = self._velocity
+        mul, add, sub = np.multiply, np.add, np.subtract
+        for name, p, gbuf, decay, lrg in plan:
             g = p.grad
+            if g is None:
+                continue
             if scale != 1.0:
-                np.multiply(g, scale, out=gbuf)             # g * scale
+                mul(g, scale, gbuf)                         # g * scale
                 g = gbuf
-            if self.weight_decay:
-                np.multiply(p.data, self.weight_decay, out=decay)
-                np.add(g, decay, out=gbuf)                  # g + wd * p
+            if weight_decay:
+                mul(p.data, weight_decay, decay)
+                add(g, decay, gbuf)                         # g + wd * p
                 g = gbuf
-            for hook in self._hooks:
+            for hook in hooks:
                 g = hook(name, g)
-            if self.momentum:
-                v = self._velocity.get(name)
+            if momentum:
+                v = velocity.get(name)
                 if v is None:
                     v = np.zeros_like(p.data)
-                    self._velocity[name] = v
-                v *= self.momentum
-                v += g
+                    velocity[name] = v
+                mul(v, momentum, v)                         # v *= momentum
+                add(v, g, v)                                # v += g
                 g = v
-            np.multiply(g, self.lr, out=lrg)                # lr * g
-            np.subtract(p.data, lrg, out=p.data)            # p -= lr * g
+            mul(g, lr, lrg)                                 # lr * g
+            sub(p.data, lrg, p.data)                        # p -= lr * g
 
     def state_dict(self) -> dict:
         return {"lr": self.lr, "velocity": {k: v.copy() for k, v in self._velocity.items()}}

@@ -1,0 +1,19 @@
+"""Trace-and-replay step compiler (DESIGN.md §15).
+
+On the first training step for a ``(model, input-signature)`` pair the
+compiler records the forward/backward tape that :meth:`Tensor.backward`
+already materialises, topologically sorts it into a static schedule,
+plans every intermediate buffer into one arena via linear-scan lifetime
+analysis, and binds a flat list of zero-argument closures.  Subsequent
+steps replay that list — no graph construction, no topological sort, and
+zero per-op allocations for the planned intermediates — while producing
+byte-identical results to the eager engine (asserted by the golden-state
+tests).  Any graph shape the planner does not understand falls back to
+the eager path automatically, per signature.
+"""
+
+from repro.tensor.compile.ir import Handle, PlanBuilder, Unsupported, View
+from repro.tensor.compile.step import FALLBACK, StepCompiler, StepPlan
+
+__all__ = ["Handle", "PlanBuilder", "Unsupported", "View",
+           "FALLBACK", "StepCompiler", "StepPlan"]

@@ -36,6 +36,27 @@ _grad_state = threading.local()
 _backward_op_hook: Callable[[str, float], None] | None = None
 _op_name_cache: dict = {}
 
+# Graph-capture hook: when set, every Tensor produced through ``_make`` is
+# reported as ``(out, parents, backward)`` — including nodes created with
+# ``requires_grad=False`` results, which the step compiler must see to
+# detect per-step values it would otherwise bake in as constants.  None
+# (the default) keeps op creation on the original path: one global
+# ``is None`` check per op.
+_graph_capture_hook: Callable[["Tensor", tuple, Callable], None] | None = None
+
+
+def set_graph_capture_hook(hook):
+    """Install (or clear, with ``None``) the op-creation capture hook.
+
+    Returns the previously installed hook.  Used by
+    :mod:`repro.tensor.compile` to record one training step's tape; not a
+    public API for anything else.
+    """
+    global _graph_capture_hook
+    previous = _graph_capture_hook
+    _graph_capture_hook = hook
+    return previous
+
 
 def set_backward_op_hook(hook: Callable[[str, float], None] | None):
     """Install (or clear, with ``None``) the backward-op profiler hook.
@@ -242,6 +263,8 @@ class Tensor:
         if req:
             out._parents = tuple(parents)
             out._backward = backward
+        if _graph_capture_hook is not None:
+            _graph_capture_hook(out, tuple(parents), backward)
         return out
 
     def _accumulate(self, grad: np.ndarray,

@@ -48,6 +48,49 @@ class TestWorkspaceSlot:
         assert len(calls) == 1
         assert ws.cached("t.view", ("other",), lambda: [9]) == [9]
 
+    def test_cached_views_stay_valid_over_buffer(self):
+        # The memoized derived object may be a strided view over a cached
+        # buffer; both must keep their identity across re-requests, so
+        # closures that captured the view keep writing through to the
+        # buffer (the conv gather indices and max-pool base offsets, and
+        # the step compiler's bound closures, rely on this).
+        ws = workspace.slot_for(Owner())
+        buf = ws.buffer("t.vbase", (4, 6), np.float32)
+        view = ws.cached("t.vview", ("win",), lambda: buf[:, ::2])
+        assert ws.cached("t.vview", ("win",), lambda: None) is view
+        assert ws.buffer("t.vbase", (4, 6), np.float32) is buf
+        buf[...] = 7.0
+        assert np.all(view == 7.0)
+
+    def test_cohort_shapes_coexist_per_tag(self):
+        # Cohort-mode stacks k clients into one (k*n, ...) batch; the same
+        # slot then serves both the per-client and the stacked shape under
+        # one tag.  Shapes are distinct keys: alternating between them
+        # must reuse both buffers (no eviction, no reallocation) — the
+        # vectorized executor's arena behaviour depends on it.
+        ws = workspace.slot_for(Owner())
+        small = ws.buffer("t.cohort", (8, 3, 4, 4), np.float32)
+        big = ws.buffer("t.cohort", (32, 3, 4, 4), np.float32)
+        assert small is not big
+        st = workspace.tag_stats("t.cohort")
+        hits0, misses0 = st.hits, st.misses
+        for _ in range(3):
+            assert ws.buffer("t.cohort", (32, 3, 4, 4), np.float32) is big
+            assert ws.buffer("t.cohort", (8, 3, 4, 4), np.float32) is small
+        assert st.misses == misses0
+        assert st.hits == hits0 + 6
+
+    def test_cached_keys_include_cohort_geometry(self):
+        # Derived objects keyed by geometry tuples (e.g. maxpool.base keyed
+        # by (n, c, h, w, ho, wo, s)) must not collide when cohort mode
+        # changes only the leading batch extent.
+        ws = workspace.slot_for(Owner())
+        a = ws.cached("t.geom", (8, 3, 4, 4, 2), lambda: np.zeros(2))
+        b = ws.cached("t.geom", (32, 3, 4, 4, 2), lambda: np.ones(2))
+        assert a is not b
+        assert ws.cached("t.geom", (8, 3, 4, 4, 2), lambda: None) is a
+        assert ws.cached("t.geom", (32, 3, 4, 4, 2), lambda: None) is b
+
     def test_hit_miss_and_bytes_accounting(self):
         ws = workspace.slot_for(Owner())
         before = workspace.tag_stats("t.acct")
