@@ -54,7 +54,10 @@ def _cfg(args, **extra):
                      fault_seed=args.fault_seed,
                      min_clients=args.min_clients,
                      workers=args.workers, executor=args.executor,
-                     shm=args.shm, compile=args.compile)
+                     shm=args.shm, compile=args.compile,
+                     quant_bits=args.quant_bits, quant_block=args.quant_block,
+                     quant_ef=not args.no_quant_ef,
+                     mask_density=args.mask_density)
     if args.rounds:
         overrides["rounds"] = args.rounds
     overrides.update(extra)
@@ -369,6 +372,27 @@ def build_parser() -> argparse.ArgumentParser:
                              "elementwise kernels.  Byte-identical to the "
                              "eager loop; unsupported steps fall back "
                              "automatically.")
+    quant = parser.add_argument_group(
+        "quantized transport",
+        "Low-bit stochastic uplink codec with per-client error feedback "
+        "(DESIGN.md §16); the default --quant-bits 32 keeps the dense "
+        "fp32 wire byte-identical to the unquantized path.")
+    quant.add_argument("--quant-bits", type=int, default=32,
+                       choices=[32, 16, 8, 4],
+                       help="uplink bits per value: 32 = off, 16 = fp16 "
+                            "records, 8/4 = stochastic integer codec "
+                            "(int4 nibble-packed two values per byte)")
+    quant.add_argument("--quant-block", type=int, default=0,
+                       help="values per quantization scale block "
+                            "(0 = one float32 scale per tensor)")
+    quant.add_argument("--no-quant-ef", action="store_true",
+                       help="disable error feedback (per-client residuals "
+                            "of the rounding error, folded into the next "
+                            "round's upload)")
+    quant.add_argument("--mask-density", type=float, default=0.3,
+                       help="kept fraction per tensor for the "
+                            "sparse-at-init algorithms (salientgrads, "
+                            "ssfl)")
     faults = parser.add_argument_group(
         "fault injection",
         "Seeded failure simulation; all defaults leave the fault path off "

@@ -171,6 +171,18 @@ class SPATL(FederatedAlgorithm):
                             for k, v in update["predictor_state"].items()})
         return payload
 
+    def apply_upload_payload(self, update: dict,
+                             payload: dict[str, np.ndarray]) -> None:
+        # Only what the uplink carries is replaced; client-side context the
+        # server already holds (``"before"``) stays exact by construction.
+        update["salient"] = {name: (payload[f"{name}.idx"],
+                                    payload[f"{name}.val"])
+                             for name in update["salient"]}
+        update["dense"] = {k: payload[k] for k in update["dense"]}
+        if update["predictor_state"] is not None:
+            update["predictor_state"] = {k: payload[f"pred.{k}"]
+                                         for k in update["predictor_state"]}
+
     def aggregate(self, updates: list[dict], round_idx: int) -> None:
         # Survivor correctness under dropout: Eq. 11 below already sums
         # variate deltas over the updates it receives (survivors only) and

@@ -26,7 +26,8 @@ from repro.core import SPATL, RLSelectionPolicy, StaticSaliencyPolicy
 from repro.data import (SyntheticCIFAR10, SyntheticFEMNIST, by_writer_partition,
                         dirichlet_partition)
 from repro.fl import (ALGORITHMS, Client, FaultModel, RetryPolicy,
-                      make_executor, make_federated_clients)
+                      make_executor, make_federated_clients,
+                      make_quant_config)
 from repro.models import build_model
 from repro.rl import SalientParameterAgent
 
@@ -79,6 +80,17 @@ class ExperimentConfig:
     # static memory planning.  Byte-identical to eager execution; off by
     # default so baseline runs keep the untouched eager loop.
     compile: bool = False
+    # Low-bit quantized uplink transport (DESIGN.md §16): stochastic
+    # int8/int4 codec with per-client error feedback.  ``quant_bits=32``
+    # keeps the dense fp32 wire byte-identical to the unquantized path;
+    # 16 casts through fp16 records; 8/4 run the stochastic codec.
+    # ``quant_block=0`` means one scale per tensor, else values/scale.
+    quant_bits: int = 32
+    quant_block: int = 0
+    quant_ef: bool = True
+    # Kept fraction per tensor for the sparse-at-init algorithms
+    # (salientgrads / ssfl).
+    mask_density: float = 0.3
 
     def scaled(self, **overrides) -> "ExperimentConfig":
         return replace(self, **overrides)
@@ -176,6 +188,9 @@ def make_algorithm(name: str, cfg: ExperimentConfig, model_fn, clients,
     common = dict(lr=cfg.lr, local_epochs=cfg.local_epochs,
                   sample_ratio=cfg.sample_ratio, momentum=cfg.momentum,
                   seed=cfg.seed)
+    quant = make_quant_config(cfg.quant_bits, cfg.quant_block, cfg.quant_ef)
+    if quant is not None:
+        common["quant"] = quant
     if cfg.workers > 1 or cfg.executor != "auto" or cfg.shm:
         common["executor"] = make_executor(cfg.workers, kind=cfg.executor,
                                            shm=cfg.shm)
@@ -194,5 +209,7 @@ def make_algorithm(name: str, cfg: ExperimentConfig, model_fn, clients,
     if name in ALGORITHMS:
         if name == "scaffold":
             common.pop("momentum", None)  # scaffold manages its own default
+        if name in ("salientgrads", "ssfl"):
+            common.setdefault("density", cfg.mask_density)
         return ALGORITHMS[name](model_fn, clients, **common)
     raise KeyError(f"unknown algorithm {name!r}")

@@ -33,6 +33,13 @@ algorithm rides on:
   the synchronous loop and mid-flight async runs;
 - :mod:`repro.fl.topk` — top-k delta sparsification with error feedback,
   a generic-compression comparator for SPATL's structured selection;
+- :mod:`repro.fl.quant` — low-bit quantized uplink transport: stochastic
+  int8/int4 codec with per-client error feedback, layered under every
+  algorithm via ``quant=`` / ``--quant-bits`` (DESIGN.md §16);
+- :mod:`repro.fl.sparse_init` — sparse-at-init masked uplinks:
+  :class:`SalientGrads` (pre-training gradient saliency) and
+  :class:`SSFL` (unified subnetwork at initialization), index-free
+  sparse wire sharing;
 - :mod:`repro.fl.scale` — population-scale simulation: virtual clients
   over a spill-to-disk state store, streaming fold aggregation, and
   hierarchical edge aggregators (DESIGN.md §13; CLI ``scale``).
@@ -59,6 +66,9 @@ from repro.fl.fedprox import FedProx
 from repro.fl.fednova import FedNova
 from repro.fl.scaffold import Scaffold
 from repro.fl.topk import FedTopK
+from repro.fl.quant import (QuantConfig, quantize_payload, dequantize_payload,
+                            quant_payload_nbytes, make_quant_config)
+from repro.fl.sparse_init import SalientGrads, SparseInitFL, SSFL
 from repro.fl.scale import (ClientStateStore, EdgeAggregator, ScaleRunner,
                             ShardedClientFactory, StubClientFactory,
                             UpdateSpill, VirtualClient, VirtualClientPool)
@@ -69,6 +79,8 @@ ALGORITHMS = {
     "fednova": FedNova,
     "scaffold": Scaffold,
     "fedtopk": FedTopK,
+    "salientgrads": SalientGrads,
+    "ssfl": SSFL,
 }
 
 __all__ = [
@@ -77,6 +89,9 @@ __all__ = [
     "make_federated_clients", "FederatedAlgorithm", "RoundResult",
     "sample_clients", "FedAvg", "FedProx", "FedNova", "Scaffold", "FedTopK",
     "ALGORITHMS", "quantize_state", "dequantize_state",
+    "QuantConfig", "quantize_payload", "dequantize_payload",
+    "quant_payload_nbytes", "make_quant_config",
+    "SparseInitFL", "SalientGrads", "SSFL",
     "FaultModel", "FaultyTransport", "RetryPolicy", "FaultStats",
     "ClientFailure", "ClientDropped", "ClientCrashed", "StragglerTimeout",
     "TransferCorrupted", "WorkerCrashed",

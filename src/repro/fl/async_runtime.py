@@ -307,11 +307,19 @@ class AsyncFederatedRunner:
                 # step through the broadcast cache and decode zero-copy,
                 # so traced codec byte totals equal the ledger's.
                 blob = algo._broadcast.encode(
-                    down, token=("async", self.server_step), channel="down")
+                    down, token=("async", self.server_step), channel="down",
+                    variant=algo._bcast_variant)
                 deserialize_state(blob, copy=False)
             algo.ledger.record_down(self.server_step, cid, down_bytes)
             if not crashed:
                 job.update = algo.local_update(client, round_for_client)
+                # Quantized uplink (DESIGN.md §16): encode once at
+                # training time, before any spill — the stashed wire
+                # dict is what fingerprints, byte charges, and (via the
+                # dequantized update tensors) buffered commits all see,
+                # so duplicate deliveries dedup against identical bytes.
+                job.update = algo.quantize_update(client, job.update,
+                                                  round_for_client)
                 job.train_loss = algo.update_train_loss(job.update)
                 if self._store is not None:
                     from repro.fl.comm import encode_update
@@ -351,7 +359,7 @@ class AsyncFederatedRunner:
             self._bump("deduped")
             return
         if job.fingerprint is None:
-            payload = self.algo.upload_payload(self._job_update(job))
+            payload = self.algo.wire_payload(self._job_update(job))
             job.fingerprint = state_fingerprint(payload)
             job.up_bytes = payload_nbytes(payload)
         else:
@@ -381,7 +389,7 @@ class AsyncFederatedRunner:
                          job=job_id) as span:
             if tracer.enabled:
                 if payload is None:
-                    payload = self.algo.upload_payload(self._job_update(job))
+                    payload = self.algo.wire_payload(self._job_update(job))
                 codec_validate(payload, owner=self.algo)
             self.algo.ledger.record_up(job.dispatch_step, cid, job.up_bytes)
             self.stats.record_delivery(cid)

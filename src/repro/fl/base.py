@@ -35,6 +35,7 @@ import numpy as np
 from repro.fl.client import Client
 from repro.fl.comm import CommLedger, deserialize_state, payload_nbytes
 from repro.fl.faults import FaultModel, FaultyTransport
+from repro.fl.quant import QUANT_WIRE_KEY, QuantConfig, quantize_payload
 from repro.fl.wire import BroadcastCache, codec_validate
 from repro.fl.parallel import RoundExecutor, SerialExecutor
 from repro.fl.resilience import (ClientCrashed, ClientFailure, FaultStats,
@@ -98,7 +99,8 @@ class FederatedAlgorithm:
                  retry_policy: RetryPolicy | None = None,
                  min_clients: int = 1, max_round_resamples: int = 3,
                  executor: RoundExecutor | None = None,
-                 compile_steps: bool = False):
+                 compile_steps: bool = False,
+                 quant: QuantConfig | None = None):
         self.model_fn = model_fn
         self.clients = list(clients)
         if not self.clients:
@@ -138,9 +140,20 @@ class FederatedAlgorithm:
         # the full byte count — caching never changes accounting.
         self._broadcast = BroadcastCache()
         self._bcast_gen = 0
+        # Low-bit uplink transport (DESIGN.md §16): with an active
+        # :class:`~repro.fl.quant.QuantConfig`, each freshly trained
+        # update is quantized exactly once — its wire encoding is stashed
+        # on the update under ``QUANT_WIRE_KEY`` and its uplink tensors
+        # are replaced by the dequantized values, so every byte-charging
+        # site, retransmission, and fold sees one consistent payload.
+        # ``quant=None`` (or bits=32) keeps the original dense path
+        # byte-identical.
+        self.quant = quant if quant is not None and quant.active else None
         self.transport = (FaultyTransport(fault_model, self.ledger,
                                           broadcast=self._broadcast)
                           if fault_model is not None else None)
+        if self.transport is not None and self.quant is not None:
+            self.transport.variant = self.quant.key
         self.fault_stats = FaultStats()  # cumulative over the whole run
         # Round execution engine (DESIGN.md §9).  SerialExecutor keeps the
         # original in-process loop; ProcessPoolRoundExecutor fans clients
@@ -178,6 +191,67 @@ class FederatedAlgorithm:
 
     def upload_payload(self, update: Any) -> dict[str, np.ndarray]:
         raise NotImplementedError
+
+    def apply_upload_payload(self, update: Any,
+                             payload: dict[str, np.ndarray]) -> None:
+        """Write a (decoded) uplink payload back into ``update`` in place.
+
+        The inverse of :meth:`upload_payload`: given entries under the
+        same names that hook emits, replace the update's transmitted
+        tensors with them.  The quantized transport uses it to make
+        aggregation fold exactly what the wire carried
+        (dequantize-then-fold, DESIGN.md §16).  Values the uplink never
+        carries (client-side bookkeeping like SPATL's ``"before"``) are
+        untouched by construction.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement apply_upload_payload; "
+            "quantized uplinks (quant=) need it to fold decoded values")
+
+    def quantize_update(self, client: Client, update: Any,
+                        round_idx: int) -> Any:
+        """Quantize a freshly trained update's uplink (once per update).
+
+        No-op without an active quant config.  Otherwise encodes
+        :meth:`upload_payload` through the stochastic codec — RNG keyed
+        ``(seed, "quant", round, client)`` so executor replays and
+        retransmissions reproduce identical bytes — applies per-client
+        error feedback from ``client.local_state["quant_residual"]``,
+        writes the dequantized values back via
+        :meth:`apply_upload_payload`, and stashes the exact wire dict on
+        the update under ``QUANT_WIRE_KEY`` for :meth:`wire_payload`.
+        """
+        if self.quant is None:
+            return update
+        if not isinstance(update, dict):
+            raise TypeError(
+                f"{type(self).__name__} returned a non-dict update; the "
+                "quantized transport needs a dict to stash its wire payload")
+        payload = self.upload_payload(update)
+        rng = spawn_rng(self.seed, "quant", round_idx, client.client_id)
+        residuals = None
+        if self.quant.error_feedback:
+            residuals = client.local_state.setdefault("quant_residual", {})
+        wire_dict, decoded = quantize_payload(payload, self.quant, rng,
+                                              residuals)
+        self.apply_upload_payload(update, decoded)
+        update[QUANT_WIRE_KEY] = wire_dict
+        return update
+
+    def wire_payload(self, update: Any) -> dict[str, np.ndarray]:
+        """The uplink payload as it crosses the wire.
+
+        Returns the quantized encoding stashed by :meth:`quantize_update`
+        when present, else :meth:`upload_payload`.  Every uplink
+        byte-charging site (sync exchange, faulty transport, async
+        delivery) goes through this accessor so the ledger always charges
+        the true transmitted bytes.
+        """
+        if isinstance(update, dict):
+            stashed = update.get(QUANT_WIRE_KEY)
+            if stashed is not None:
+                return stashed
+        return self.upload_payload(update)
 
     def aggregate(self, updates: list[Any], round_idx: int) -> None:
         raise NotImplementedError
@@ -259,7 +333,18 @@ class FederatedAlgorithm:
         a round (e.g. for a re-sampled cohort) return the cached blob.
         """
         return self._broadcast.encode(self.worker_sync_state(),
-                                      token=self._bcast_gen, channel="sync")
+                                      token=self._bcast_gen, channel="sync",
+                                      variant=self._bcast_variant)
+
+    @property
+    def _bcast_variant(self):
+        """Broadcast-cache variant key: the quant config's identity.
+
+        Folded into every cache key so a quantization-config change can
+        never serve a blob encoded under a different config
+        (DESIGN.md §16) — even if ``self.quant`` is mutated mid-run.
+        """
+        return self.quant.key if self.quant is not None else None
 
     def client_context(self, client: Client) -> Any:
         """Per-client server-side state to ship *to* the worker (beyond
@@ -423,13 +508,15 @@ class FederatedAlgorithm:
                 span.set(bytes=down_bytes)
                 if tracer.enabled:
                     blob = self._broadcast.encode(down, token=self._bcast_gen,
-                                                  channel="down")
+                                                  channel="down",
+                                                  variant=self._bcast_variant)
                     deserialize_state(blob, copy=False)
             self.ledger.record_down(round_idx, cid, down_bytes)
             with tracer.span("local_update", round=round_idx, client=cid):
                 update = self.local_update(client, round_idx)
+            update = self.quantize_update(client, update, round_idx)
             with tracer.span("upload", round=round_idx, client=cid) as span:
-                up = self.upload_payload(update)
+                up = self.wire_payload(update)
                 up_bytes = payload_nbytes(up)
                 span.set(bytes=up_bytes)
                 if tracer.enabled:
@@ -457,6 +544,12 @@ class FederatedAlgorithm:
                         with tracer.span("local_update", round=round_idx,
                                          client=cid):
                             update = self.local_update(client, round_idx)
+                        # Quantize before the crash draw: a crash rolls the
+                        # client's state (incl. EF residuals) back to the
+                        # pre-round snapshot, so the retrain re-quantizes
+                        # from a clean slate with the same seeded codes.
+                        update = self.quantize_update(client, update,
+                                                      round_idx)
                         try:
                             fm.check_crash(round_idx, cid, salt, attempt)
                         except ClientCrashed:
@@ -464,7 +557,7 @@ class FederatedAlgorithm:
                             update = None
                             raise
                     with tracer.span("upload", round=round_idx, client=cid):
-                        up = self.upload_payload(update)
+                        up = self.wire_payload(update)
                         self.transport.upload(round_idx, cid, up, salt,
                                               attempt)
                     return update

@@ -114,23 +114,46 @@ def quantize_state(state: dict[str, np.ndarray],
     """Cast floating tensors to a narrower wire dtype (lossy compression).
 
     Halving payloads with fp16 is the simplest communication-compression
-    knob on top of salient selection; integer tensors (indices, counters)
-    pass through untouched.
+    knob on top of salient selection.  Only floats *wider* than the
+    target are narrowed; non-float tensors (indices, bool masks, BN step
+    counters like ``num_batches_tracked``) and already-narrow floats pass
+    through bit-exactly, so a quantize → dequantize round trip is the
+    identity on every entry the cast doesn't touch.
+
+    For stochastic sub-byte quantization (int8/int4 with error
+    feedback), see :mod:`repro.fl.quant` — this helper is the simple
+    dtype-cast knob, not the low-bit codec.
     """
+    target = np.dtype(dtype)
+    if target.kind != "f":
+        raise TypeError(f"quantize_state target must be a float dtype, "
+                        f"got {target}")
     out = {}
     for name, arr in state.items():
         arr = np.asarray(arr)
-        out[name] = arr.astype(dtype) if arr.dtype.kind == "f" else arr
+        narrow = arr.dtype.kind == "f" and arr.dtype.itemsize > target.itemsize
+        out[name] = arr.astype(target) if narrow else arr
     return out
 
 
 def dequantize_state(state: dict[str, np.ndarray],
                      dtype=np.float32) -> dict[str, np.ndarray]:
-    """Widen floating tensors back to the compute dtype after receipt."""
+    """Widen narrow floating tensors back to the compute dtype.
+
+    The inverse knob of :func:`quantize_state`: floats *narrower* than
+    the target are widened; everything else — non-floats, and floats at
+    or above the target width (so a float64 entry is never silently
+    downcast to float32 on receipt) — passes through bit-exactly.
+    """
+    target = np.dtype(dtype)
+    if target.kind != "f":
+        raise TypeError(f"dequantize_state target must be a float dtype, "
+                        f"got {target}")
     out = {}
     for name, arr in state.items():
         arr = np.asarray(arr)
-        out[name] = arr.astype(dtype) if arr.dtype.kind == "f" else arr
+        widen = arr.dtype.kind == "f" and arr.dtype.itemsize < target.itemsize
+        out[name] = arr.astype(target) if widen else arr
     return out
 
 

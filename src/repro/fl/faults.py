@@ -234,6 +234,9 @@ class FaultyTransport:
         self.ledger = ledger
         self.broadcast = broadcast
         self.token = 0  # server round token; bumped by run_round
+        # Quantization-config identity; folded into broadcast-cache keys
+        # so a config change can never serve a stale cached blob.
+        self.variant = None
 
     def download(self, round_idx: int, client_id: int,
                  state: dict[str, np.ndarray], salt: int = 0,
@@ -252,7 +255,8 @@ class FaultyTransport:
                   direction: str) -> dict[str, np.ndarray]:
         if direction == "down" and self.broadcast is not None:
             blob = self.broadcast.encode(state, token=self.token,
-                                         channel="down", checksums=True)
+                                         channel="down", checksums=True,
+                                         variant=self.variant)
         else:
             blob = serialize_state(state, checksums=True)
         record = (self.ledger.record_down if direction == "down"

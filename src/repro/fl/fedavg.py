@@ -48,6 +48,10 @@ class FedAvg(FederatedAlgorithm):
     def upload_payload(self, update: dict) -> dict[str, np.ndarray]:
         return update["state"]
 
+    def apply_upload_payload(self, update: dict,
+                             payload: dict[str, np.ndarray]) -> None:
+        update["state"] = {k: payload[k] for k in update["state"]}
+
     def aggregate(self, updates: list[dict], round_idx: int) -> None:
         # Under fault tolerance only *surviving* clients reach this point;
         # weights renormalise over survivors, which is exactly FedAvg under

@@ -93,6 +93,14 @@ class FedNova(FederatedAlgorithm):
         payload["a_i"] = np.asarray([update["a_i"]], dtype=np.float32)
         return payload
 
+    def apply_upload_payload(self, update: dict,
+                             payload: dict[str, np.ndarray]) -> None:
+        update["delta"] = {n: payload[n] for n in update["delta"]}
+        update["momentum_state"] = {k: payload[k]
+                                    for k in update["momentum_state"]}
+        update["buffers"] = {n: payload[n] for n in update["buffers"]}
+        update["a_i"] = float(payload["a_i"][0])
+
     def aggregate(self, updates: list[dict], round_idx: int) -> None:
         # Survivor correctness under dropout: both the data weights p_i and
         # the effective tau (sum_i p_i a_i) are computed over *surviving*

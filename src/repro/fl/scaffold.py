@@ -103,6 +103,12 @@ class Scaffold(FederatedAlgorithm):
         payload.update(update["buffers"])
         return payload
 
+    def apply_upload_payload(self, update: dict,
+                             payload: dict[str, np.ndarray]) -> None:
+        update["delta_w"] = {n: payload[f"dw.{n}"] for n in update["delta_w"]}
+        update["delta_c"] = {n: payload[f"dc.{n}"] for n in update["delta_c"]}
+        update["buffers"] = {n: payload[n] for n in update["buffers"]}
+
     def aggregate(self, updates: list[dict], round_idx: int) -> None:
         # Survivor correctness under dropout: the model step averages over
         # the n_sel *surviving* deltas, while the variate step keeps the

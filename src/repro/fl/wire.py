@@ -394,7 +394,7 @@ class BroadcastCache:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = int(max_entries)
-        self._entries: OrderedDict[tuple[str, bool], _CacheEntry] = \
+        self._entries: OrderedDict[tuple[str, bool, Any], _CacheEntry] = \
             OrderedDict()
         self.hits = 0           # token matched: no hash, no encode
         self.content_hits = 0   # token moved but fingerprint matched
@@ -412,9 +412,18 @@ class BroadcastCache:
             self.__init__()
 
     def encode(self, state: dict[str, np.ndarray], *, token: Any,
-               channel: str = "down", checksums: bool = False) -> bytes:
-        """The wire blob for ``state``, encoded at most once per content."""
-        key = (channel, checksums)
+               channel: str = "down", checksums: bool = False,
+               variant: Any = None) -> bytes:
+        """The wire blob for ``state``, encoded at most once per content.
+
+        ``variant`` is an optional hashable encoding-configuration
+        identity (e.g. :attr:`repro.fl.quant.QuantConfig.key`) that is
+        part of the cache key alongside the channel: two configs never
+        share an entry, so changing quantization knobs mid-run can at
+        worst miss — it can never serve a blob framed under the old
+        config, even when token and entry count happen to line up.
+        """
+        key = (channel, checksums, variant)
         entry = self._entries.get(key)
         cached = True
         if entry is not None:

@@ -249,3 +249,49 @@ class TestQuantization:
     def test_quantized_payload_is_smaller(self):
         state = {"w": np.zeros((32, 32), dtype=np.float32)}
         assert payload_nbytes(quantize_state(state)) < payload_nbytes(state)
+
+    def test_float64_roundtrips_without_downcast(self):
+        # Regression: dequantize_state used to force float64 entries down
+        # to float32 on receipt.  An already-wide float must pass through
+        # bit-exactly; only floats *narrower* than the target widen.
+        state = {"acc": np.asarray([1.0 + 2 ** -40, -3.5], dtype=np.float64)}
+        back = dequantize_state(state)
+        assert back["acc"].dtype == np.float64
+        np.testing.assert_array_equal(back["acc"], state["acc"])
+
+    def test_fp16_entry_not_renarrowed_by_quantize(self):
+        # Already-at-or-below-target floats are untouched by the narrow
+        # cast, so quantize is idempotent.
+        state = {"w": np.asarray([0.5, 2.0], dtype=np.float16)}
+        quant = quantize_state(state)
+        assert quant["w"] is state["w"]
+        again = quantize_state(quant)
+        assert again["w"] is state["w"]
+
+    def test_mixed_state_full_roundtrip_restores_every_dtype(self):
+        rng = np.random.default_rng(17)
+        state = {
+            "w32": rng.normal(size=6).astype(np.float32),
+            "w64": rng.normal(size=6).astype(np.float64),
+            "w16": rng.normal(size=6).astype(np.float16),
+            "idx": np.arange(4, dtype=np.int32),
+            "count": np.asarray(9, dtype=np.int64),
+            "mask": np.asarray([True, False]),
+        }
+        back = dequantize_state(quantize_state(state))
+        # the lossy knob funnels every wide float through fp16 and widens
+        # back to the float32 compute dtype; non-floats are untouched
+        expected = {"w32": np.float32, "w64": np.float32,
+                    "w16": np.float32, "idx": np.int32,
+                    "count": np.int64, "mask": np.bool_}
+        for name, dt in expected.items():
+            assert back[name].dtype == dt, name
+        for name in ("idx", "count", "mask"):
+            np.testing.assert_array_equal(back[name], state[name],
+                                          err_msg=name)
+
+    def test_non_float_target_rejected(self):
+        with pytest.raises(TypeError, match="float dtype"):
+            quantize_state({}, dtype=np.int8)
+        with pytest.raises(TypeError, match="float dtype"):
+            dequantize_state({}, dtype=np.int32)

@@ -1,0 +1,503 @@
+"""Low-bit quantized transport (DESIGN.md §16) and sparse-at-init masks.
+
+The contracts under test:
+
+- the codec level — vectorized nibble kernels bitwise-match the naive
+  reference, stochastic rounding stays on the grid with per-block error
+  at most one scale step, records are self-describing and round-trip
+  through the ordinary wire format, and structural damage raises
+  :class:`PayloadError`;
+- the payload level — non-float and tiny entries pass through
+  bit-exactly, ``quant_payload_nbytes`` predicts the serialized size
+  exactly, error feedback carries rounding residuals across rounds, and
+  NUL-bearing names are rejected;
+- the algorithm level — ``bits=32`` is byte-identical to the unquantized
+  run (the CI golden), the ledger charges exactly the codec-reported
+  bytes, and quantized runs compose byte-identically across the process
+  pool, the vectorized executor, the async runtime, and the
+  population-scale streaming folds;
+- the sparse-at-init algorithms — SSFL's zero-bootstrap magnitude mask
+  and SalientGrads' charged gradient-saliency mask, index-free uplinks,
+  unmasked coordinates pinned at init, and multiplicative stacking with
+  the low-bit codec.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import dirichlet_partition
+from repro.fl import (ALGORITHMS, AsyncConfig, AsyncFederatedRunner,
+                      AsyncProfile, ScaleRunner, make_executor,
+                      make_federated_clients, make_quant_config)
+from repro.fl.comm import PayloadError, deserialize_state, payload_nbytes, \
+    serialize_state
+from repro.fl.fedavg import FedAvg
+from repro.fl.quant import (QUANT_SUFFIX, QUANT_WIRE_KEY, QuantConfig,
+                            decode_record, dequantize_payload,
+                            dequantize_values, encode_record,
+                            naive_pack_nibbles, naive_unpack_nibbles,
+                            pack_nibbles, quant_payload_nbytes,
+                            quantize_payload, record_nbytes,
+                            stochastic_quantize, unpack_nibbles)
+from repro.fl.sparse_init import SSFL, SalientGrads
+from repro.fl.topk import FedTopK
+from repro.core.spatl import SPATL
+from repro.core.selection_policies import StaticSaliencyPolicy
+
+INT8 = QuantConfig(bits=8)
+INT4 = QuantConfig(bits=4)
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+# --------------------------------------------------------------------- #
+# codec core                                                            #
+# --------------------------------------------------------------------- #
+class TestNibbleKernels:
+    @pytest.mark.parametrize("n", [0, 1, 2, 7, 64, 1023])
+    def test_vectorized_matches_naive_bitwise(self, n):
+        codes = _rng(n).integers(0, 16, size=n).astype(np.uint8)
+        packed = pack_nibbles(codes)
+        np.testing.assert_array_equal(packed, naive_pack_nibbles(codes))
+        np.testing.assert_array_equal(unpack_nibbles(packed, n),
+                                      naive_unpack_nibbles(packed, n))
+
+    @pytest.mark.parametrize("n", [1, 5, 6, 333])
+    def test_roundtrip_is_identity(self, n):
+        codes = _rng(7 + n).integers(0, 16, size=n).astype(np.uint8)
+        np.testing.assert_array_equal(
+            unpack_nibbles(pack_nibbles(codes), n), codes)
+
+    def test_packed_size_is_ceil_half(self):
+        assert pack_nibbles(np.zeros(5, dtype=np.uint8)).size == 3
+        assert pack_nibbles(np.zeros(6, dtype=np.uint8)).size == 3
+
+
+class TestStochasticQuantize:
+    @pytest.mark.parametrize("bits,block", [(8, 0), (8, 16), (4, 0), (4, 16)])
+    def test_codes_stay_on_grid_and_error_bounded(self, bits, block):
+        x = _rng(1).normal(size=200).astype(np.float64)
+        codes, scales = stochastic_quantize(x, bits, block, _rng(2))
+        qmax = 127 if bits == 8 else 7
+        bias = 128 if bits == 8 else 8
+        assert codes.dtype == np.uint8
+        assert codes.min() >= bias - qmax and codes.max() <= bias + qmax
+        assert scales.dtype == np.float32
+        deq = dequantize_values(codes, scales, bits, block)
+        # Stochastic rounding can land on either neighbouring grid point,
+        # so the per-value bound is one full scale step (not scale / 2 as
+        # deterministic nearest-rounding would give).
+        width = x.size if block == 0 else block
+        for b in range(scales.size):
+            seg = slice(b * width, (b + 1) * width)
+            err = np.abs(x[seg] - deq[seg])
+            assert err.max() <= scales[b] * (1 + 1e-5) + 1e-12
+
+    def test_zero_tensor_has_zero_scale_and_exact_roundtrip(self):
+        codes, scales = stochastic_quantize(np.zeros(10), 8, 0, _rng(0))
+        assert scales[0] == 0.0
+        np.testing.assert_array_equal(
+            dequantize_values(codes, scales, 8, 0), np.zeros(10))
+
+    def test_same_rng_stream_reproduces_codes(self):
+        x = _rng(5).normal(size=97)
+        a, _ = stochastic_quantize(x, 4, 16, _rng(11))
+        b, _ = stochastic_quantize(x, 4, 16, _rng(11))
+        np.testing.assert_array_equal(a, b)
+
+    def test_unbiased_over_many_draws(self):
+        x = np.asarray([0.3, -0.7, 0.123, 1.0], dtype=np.float64)
+        draws = 3000
+        acc = np.zeros_like(x)
+        rng = _rng(3)
+        for _ in range(draws):
+            codes, scales = stochastic_quantize(x, 4, 0, rng)
+            acc += dequantize_values(codes, scales, 4, 0)
+        scale = float(np.abs(x).max() / 7)
+        # mean of `draws` draws has std <= scale/2/sqrt(draws); 0.1*scale
+        # is a > 10-sigma band for the seeds pinned here.
+        np.testing.assert_allclose(acc / draws, x, atol=0.1 * scale)
+
+    def test_block_count_rounds_up(self):
+        _, scales = stochastic_quantize(np.ones(100), 8, 32, _rng(0))
+        assert scales.size == 4          # ceil(100 / 32)
+
+
+class TestRecords:
+    @pytest.mark.parametrize("config", [INT8, INT4, QuantConfig(bits=16),
+                                        QuantConfig(bits=8, block=64)])
+    def test_decode_reconstructs_exactly_what_encode_reports(self, config):
+        arr = _rng(9).normal(size=(6, 5, 4)).astype(np.float32)
+        record, deq = encode_record(arr, config, _rng(1))
+        assert record.dtype == np.uint8
+        assert record.size == record_nbytes(arr, config.bits, config.block)
+        decoded = decode_record(record)
+        assert decoded.dtype == arr.dtype and decoded.shape == arr.shape
+        np.testing.assert_array_equal(decoded, deq)
+
+    def test_fp16_record_restores_original_float64_dtype(self):
+        arr = np.asarray([0.5, -1.25, 3.0], dtype=np.float64)
+        record, deq = encode_record(arr, QuantConfig(bits=16), _rng(0))
+        decoded = decode_record(record)
+        assert decoded.dtype == np.float64
+        np.testing.assert_array_equal(decoded, arr)   # fp16-representable
+        np.testing.assert_array_equal(deq, arr)
+
+    def test_record_survives_wire_roundtrip(self):
+        arr = _rng(2).normal(size=33).astype(np.float32)
+        record, deq = encode_record(arr, INT4, _rng(3))
+        blob = serialize_state({"w" + QUANT_SUFFIX: record})
+        back = deserialize_state(blob)
+        np.testing.assert_array_equal(decode_record(back["w" + QUANT_SUFFIX]),
+                                      deq)
+
+    def test_truncated_record_raises_payload_error(self):
+        record, _ = encode_record(np.ones(20, dtype=np.float32), INT8,
+                                  _rng(0))
+        with pytest.raises(PayloadError):
+            decode_record(record[:3])          # shorter than the header
+        with pytest.raises(PayloadError):
+            decode_record(record[:-1])         # data bytes missing
+
+    def test_garbage_bit_width_raises_payload_error(self):
+        record, _ = encode_record(np.ones(8, dtype=np.float32), INT8,
+                                  _rng(0))
+        bad = record.copy()
+        bad[0] = 3
+        with pytest.raises(PayloadError, match="bit width"):
+            decode_record(bad)
+
+
+# --------------------------------------------------------------------- #
+# payload level                                                         #
+# --------------------------------------------------------------------- #
+def _mixed_payload(seed=0):
+    rng = _rng(seed)
+    return {
+        "conv.weight": rng.normal(size=(8, 3, 3, 3)).astype(np.float32),
+        "bn.running_mean": rng.normal(size=8).astype(np.float32),
+        "bn.num_batches_tracked": np.asarray(7, dtype=np.int64),
+        "mask.idx": rng.integers(0, 99, size=40).astype(np.int32),
+        "tiny_bias": np.asarray([0.5], dtype=np.float32),
+    }
+
+
+class TestQuantizePayload:
+    @pytest.mark.parametrize("config", [INT8, INT4])
+    def test_non_float_and_tiny_entries_pass_through(self, config):
+        payload = _mixed_payload()
+        wire_dict, decoded = quantize_payload(payload, config, _rng(1))
+        for name in ("bn.num_batches_tracked", "mask.idx", "tiny_bias"):
+            assert wire_dict[name] is decoded[name]
+            np.testing.assert_array_equal(wire_dict[name], payload[name])
+            assert wire_dict[name].dtype == payload[name].dtype
+        assert "conv.weight" + QUANT_SUFFIX in wire_dict
+        assert "conv.weight" not in wire_dict
+
+    @pytest.mark.parametrize("config", [INT8, INT4, QuantConfig(bits=16),
+                                        QuantConfig(bits=4, block=32)])
+    @pytest.mark.parametrize("checksums", [False, True])
+    def test_sizing_is_exact(self, config, checksums):
+        payload = _mixed_payload(2)
+        wire_dict, _ = quantize_payload(payload, config, _rng(4))
+        assert quant_payload_nbytes(payload, config, checksums=checksums) \
+            == payload_nbytes(wire_dict, checksums=checksums)
+        assert payload_nbytes(wire_dict) \
+            == len(serialize_state(wire_dict))
+
+    def test_dequantize_payload_matches_sender_side_decoded(self):
+        payload = _mixed_payload(3)
+        wire_dict, decoded = quantize_payload(payload, INT4, _rng(5))
+        received = dequantize_payload(wire_dict)
+        assert set(received) == set(payload)
+        for name in payload:
+            np.testing.assert_array_equal(received[name], decoded[name],
+                                          err_msg=name)
+            assert received[name].dtype == payload[name].dtype
+
+    def test_nul_in_payload_name_rejected(self):
+        with pytest.raises(ValueError, match="NUL"):
+            quantize_payload({"a\x00b": np.ones(4, dtype=np.float32)},
+                             INT8, _rng(0))
+
+    def test_error_feedback_residual_carries_over(self):
+        x = _rng(6).normal(size=500).astype(np.float32)
+        residuals = {}
+        _, decoded = quantize_payload({"w": x}, INT4, _rng(7), residuals)
+        # residual is exactly what this round's rounding dropped
+        np.testing.assert_allclose(residuals["w"], x - decoded["w"],
+                                   atol=1e-6)
+        # next round quantizes x + residual, so the *cumulative* fed-back
+        # signal is unbiased even at 4 bits
+        _, decoded2 = quantize_payload({"w": x}, INT4, _rng(8), residuals)
+        np.testing.assert_allclose(residuals["w"],
+                                   (x - decoded["w"]) + x - decoded2["w"],
+                                   atol=1e-5)
+
+    def test_shape_changed_residual_is_reset_not_misapplied(self):
+        residuals = {"w": np.full(9, 100.0, dtype=np.float32)}
+        x = _rng(9).normal(size=500).astype(np.float32)
+        _, decoded = quantize_payload({"w": x}, INT8, _rng(10), residuals)
+        assert residuals["w"].shape == x.shape
+        # the stale residual was dropped: deq tracks x, not x + 100
+        assert np.abs(decoded["w"] - x).max() < 1.0
+
+    def test_quantization_reduces_bytes(self):
+        payload = {"w": _rng(11).normal(size=10_000).astype(np.float32)}
+        dense = payload_nbytes(payload)
+        assert quant_payload_nbytes(payload, INT8) < dense / 3.8
+        assert quant_payload_nbytes(payload, INT4) < dense / 7.4
+
+
+# --------------------------------------------------------------------- #
+# algorithm integration                                                 #
+# --------------------------------------------------------------------- #
+N_CLIENTS = 4
+ROUNDS = 2
+
+
+def _fresh_clients(tiny_dataset, tiny_setting):
+    _, parts = tiny_setting
+    return make_federated_clients(tiny_dataset, parts, batch_size=32, seed=5)
+
+
+def _build(name, model_fn, clients, quant=None, **kw):
+    common = dict(lr=0.05, local_epochs=1, sample_ratio=1.0, seed=0, **kw)
+    if quant is not None:
+        common["quant"] = quant
+    if name == "spatl":
+        return SPATL(model_fn, clients,
+                     selection_policy=StaticSaliencyPolicy(0.3), **common)
+    return ALGORITHMS[name](model_fn, clients, **common)
+
+
+def _final_state(algo):
+    return serialize_state(dict(algo.global_model.state_dict()))
+
+
+def _uplink_total(algo):
+    return sum(sum(per.values()) for per in algo.ledger.uplink.values())
+
+
+class TestAlgorithmIntegration:
+    def test_bits32_config_is_byte_identical_to_unquantized(
+            self, tiny_model_fn, tiny_dataset, tiny_setting):
+        """The CI golden: quant_bits=32 must not change a single byte."""
+        base = _build("fedavg", tiny_model_fn,
+                      _fresh_clients(tiny_dataset, tiny_setting))
+        base.run(ROUNDS)
+        quant = _build("fedavg", tiny_model_fn,
+                       _fresh_clients(tiny_dataset, tiny_setting),
+                       quant=make_quant_config(32))
+        assert quant.quant is None
+        quant.run(ROUNDS)
+        assert _final_state(quant) == _final_state(base)
+        assert quant.ledger.total_bytes() == base.ledger.total_bytes()
+
+    @pytest.mark.parametrize("name", ["fedavg", "fedprox", "fednova",
+                                      "scaffold", "fedtopk", "spatl",
+                                      "salientgrads", "ssfl"])
+    def test_every_algorithm_runs_quantized_and_charges_fewer_bytes(
+            self, name, tiny_model_fn, tiny_dataset, tiny_setting):
+        dense = _build(name, tiny_model_fn,
+                       _fresh_clients(tiny_dataset, tiny_setting))
+        dense.run(1)
+        quant = _build(name, tiny_model_fn,
+                       _fresh_clients(tiny_dataset, tiny_setting),
+                       quant=INT8)
+        log = quant.run(1)
+        assert np.isfinite(log["train_loss"][-1])
+        assert _uplink_total(quant) < _uplink_total(dense)
+
+    def test_ledger_charges_exactly_the_codec_bytes(
+            self, tiny_model_fn, tiny_dataset, tiny_setting):
+        algo = _build("fedavg", tiny_model_fn,
+                      _fresh_clients(tiny_dataset, tiny_setting), quant=INT8)
+        algo.run_round(0)
+        template = {k: np.asarray(v)
+                    for k, v in algo.global_model.state_dict().items()}
+        per_client = quant_payload_nbytes(template, INT8)
+        assert _uplink_total(algo) == per_client * N_CLIENTS
+
+    def test_residuals_live_in_client_state_and_wire_key_is_stashed(
+            self, tiny_model_fn, tiny_dataset, tiny_setting):
+        clients = _fresh_clients(tiny_dataset, tiny_setting)
+        algo = _build("fedavg", tiny_model_fn, clients, quant=INT4)
+        algo.run_round(0)
+        for client in clients:
+            res = client.local_state["quant_residual"]
+            assert res and all(v.dtype.kind == "f" for v in res.values())
+        # no-EF config keeps client state clean
+        clients2 = _fresh_clients(tiny_dataset, tiny_setting)
+        algo2 = _build("fedavg", tiny_model_fn, clients2,
+                       quant=QuantConfig(bits=4, error_feedback=False))
+        algo2.run_round(0)
+        assert all("quant_residual" not in c.local_state for c in clients2)
+
+    def test_bn_step_counter_survives_quantized_roundtrip(
+            self, tiny_model_fn, tiny_dataset, tiny_setting):
+        algo = _build("fedavg", tiny_model_fn,
+                      _fresh_clients(tiny_dataset, tiny_setting), quant=INT4)
+        algo.run_round(0)
+        state = dict(algo.global_model.state_dict())
+        counters = [v for k, v in state.items()
+                    if k.endswith("num_batches_tracked")]
+        assert counters
+        assert all(np.asarray(v).dtype.kind in "iu" for v in counters)
+
+
+# --------------------------------------------------------------------- #
+# executor / runtime composition                                        #
+# --------------------------------------------------------------------- #
+class TestComposition:
+    """A quantized run is one protocol: every engine reproduces the
+    serial engine's bytes, ledger, and error-feedback trajectory."""
+
+    def _serial(self, tiny_model_fn, tiny_dataset, tiny_setting, quant):
+        algo = _build("fedavg", tiny_model_fn,
+                      _fresh_clients(tiny_dataset, tiny_setting), quant=quant)
+        algo.run(ROUNDS)
+        return algo
+
+    @pytest.mark.parametrize("kind,workers", [("process", 2),
+                                              ("vectorized", 1)])
+    def test_executors_match_serial_bitwise(self, kind, workers,
+                                            tiny_model_fn, tiny_dataset,
+                                            tiny_setting):
+        base = self._serial(tiny_model_fn, tiny_dataset, tiny_setting, INT4)
+        algo = _build("fedavg", tiny_model_fn,
+                      _fresh_clients(tiny_dataset, tiny_setting), quant=INT4,
+                      executor=make_executor(workers, kind=kind))
+        try:
+            algo.run(ROUNDS)
+        finally:
+            algo.close()
+        assert _final_state(algo) == _final_state(base)
+        assert algo.ledger.total_bytes() == base.ledger.total_bytes()
+
+    def test_async_buffered_commits_match_sync_bitwise(
+            self, tiny_model_fn, tiny_dataset, tiny_setting):
+        base = self._serial(tiny_model_fn, tiny_dataset, tiny_setting, INT8)
+        async_algo = _build("fedavg", tiny_model_fn,
+                            _fresh_clients(tiny_dataset, tiny_setting),
+                            quant=INT8)
+        n = len(async_algo.clients)
+        runner = AsyncFederatedRunner(
+            async_algo, AsyncProfile(seed=5),
+            AsyncConfig(buffer_k=n, max_inflight=n))
+        results = runner.run(steps=ROUNDS)
+        assert all(r.n_updates == n for r in results)
+        assert _final_state(async_algo) == _final_state(base)
+        assert async_algo.ledger.total_bytes() == base.ledger.total_bytes()
+
+    def test_scale_runner_streaming_fold_matches_plain_run(
+            self, tmp_path, tiny_model_fn, tiny_dataset, tiny_setting):
+        base = self._serial(tiny_model_fn, tiny_dataset, tiny_setting, INT8)
+        algo = _build("fedavg", tiny_model_fn,
+                      _fresh_clients(tiny_dataset, tiny_setting), quant=INT8)
+        runner = ScaleRunner(algo, edges=2, spill_dir=tmp_path / "spills")
+        runner.run(ROUNDS)
+        assert _final_state(algo) == _final_state(base)
+        assert algo.ledger.total_bytes() == base.ledger.total_bytes()
+
+
+# --------------------------------------------------------------------- #
+# sparse-at-init algorithms                                             #
+# --------------------------------------------------------------------- #
+class TestSparseInit:
+    DENSITY = 0.25
+
+    def _build(self, cls, tiny_model_fn, tiny_dataset, tiny_setting, **kw):
+        kw.setdefault("density", self.DENSITY)
+        return cls(tiny_model_fn, _fresh_clients(tiny_dataset, tiny_setting),
+                   lr=0.05, local_epochs=1, sample_ratio=1.0, seed=0, **kw)
+
+    def test_density_validated(self, tiny_model_fn, tiny_dataset,
+                               tiny_setting):
+        with pytest.raises(ValueError, match="density"):
+            self._build(SSFL, tiny_model_fn, tiny_dataset, tiny_setting,
+                        density=0.0)
+
+    def test_ssfl_mask_is_top_magnitude_of_init(self, tiny_model_fn,
+                                                tiny_dataset, tiny_setting):
+        algo = self._build(SSFL, tiny_model_fn, tiny_dataset, tiny_setting)
+        params = dict(algo.global_model.named_parameters())
+        assert set(algo.masks) == set(params)
+        for name, idx in algo.masks.items():
+            flat = np.abs(params[name].data.ravel())
+            k = max(1, int(round(self.DENSITY * flat.size)))
+            assert idx.size == k
+            assert np.all(np.diff(idx) > 0)          # sorted, unique
+            # every kept coordinate outranks every dropped one
+            if k < flat.size:
+                dropped = np.setdiff1d(np.arange(flat.size), idx)
+                assert flat[idx].min() >= flat[dropped].max() - 1e-12
+
+    def test_ssfl_bootstrap_is_free_salientgrads_is_charged(
+            self, tiny_model_fn, tiny_dataset, tiny_setting):
+        ssfl = self._build(SSFL, tiny_model_fn, tiny_dataset, tiny_setting)
+        assert ssfl.ledger.total_bytes() == 0
+        sg = self._build(SalientGrads, tiny_model_fn, tiny_dataset,
+                         tiny_setting)
+        assert sg.ledger.round_bytes(0) > 0          # scores up + mask down
+        assert sg.ledger.uplink[0] and sg.ledger.downlink[0]
+
+    def test_unmasked_coordinates_stay_at_init(self, tiny_model_fn,
+                                               tiny_dataset, tiny_setting):
+        algo = self._build(SSFL, tiny_model_fn, tiny_dataset, tiny_setting)
+        init = {n: p.data.copy()
+                for n, p in algo.global_model.named_parameters()}
+        algo.run(2)
+        changed_any = False
+        for name, p in algo.global_model.named_parameters():
+            keep = np.zeros(p.data.size, dtype=bool)
+            keep[algo.masks[name]] = True
+            flat_now = p.data.ravel()
+            flat_init = init[name].ravel()
+            np.testing.assert_array_equal(flat_now[~keep], flat_init[~keep],
+                                          err_msg=name)
+            changed_any |= bool(np.any(flat_now[keep] != flat_init[keep]))
+        assert changed_any                           # training did happen
+
+    def test_uplink_is_density_priced_and_index_free(
+            self, tiny_model_fn, tiny_dataset, tiny_setting):
+        dense = _build("fedavg", tiny_model_fn,
+                       _fresh_clients(tiny_dataset, tiny_setting))
+        dense.run_round(0)
+        algo = self._build(SSFL, tiny_model_fn, tiny_dataset, tiny_setting)
+        algo.run_round(0)
+        # masked floats shrink to ~density of their dense bytes; dense
+        # buffers ride along unchanged, so total sits well under 50%
+        assert _uplink_total(algo) < 0.5 * _uplink_total(dense)
+
+    def test_quant_stacks_multiplicatively_on_sparse_uplink(
+            self, tiny_model_fn, tiny_dataset, tiny_setting):
+        plain = self._build(SSFL, tiny_model_fn, tiny_dataset, tiny_setting)
+        plain.run_round(0)
+        quant = self._build(SSFL, tiny_model_fn, tiny_dataset, tiny_setting,
+                            quant=INT4)
+        log = quant.run(1)
+        assert np.isfinite(log["train_loss"][-1])
+        assert _uplink_total(quant) < 0.5 * _uplink_total(plain)
+
+    def test_salientgrads_trains(self, tiny_model_fn, tiny_dataset,
+                                 tiny_setting):
+        algo = self._build(SalientGrads, tiny_model_fn, tiny_dataset,
+                           tiny_setting)
+        log = algo.run(2)
+        assert np.isfinite(log["train_loss"][-1])
+        assert len(log["val_acc"]) == 2
+
+    def test_deterministic_given_seed(self, tiny_model_fn, tiny_dataset,
+                                      tiny_setting):
+        runs = []
+        for _ in range(2):
+            algo = self._build(SSFL, tiny_model_fn, tiny_dataset,
+                               tiny_setting, quant=INT8)
+            algo.run(2)
+            runs.append((_final_state(algo), algo.ledger.total_bytes()))
+        assert runs[0] == runs[1]

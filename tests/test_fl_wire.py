@@ -357,6 +357,37 @@ class TestBroadcastCache:
         cache.encode(down, token=1, channel="down", checksums=True)
         assert cache.hits == 3
 
+    def test_variant_is_part_of_the_cache_key(self):
+        """A quantization-config change must never serve a stale blob:
+        same state + same token under a different ``variant`` is a miss,
+        and the variants coexist without evicting each other."""
+        cache = BroadcastCache()
+        state = _rand_state(12)
+        plain = cache.encode(state, token=1)
+        quant = cache.encode(state, token=1, variant=("quant", 4, 0, True))
+        assert cache.misses == 2
+        assert quant == plain == wire.serialize(state)   # same bytes, but
+        # a re-request of either variant is a hit — neither evicted the other
+        assert cache.encode(state, token=1) is plain
+        assert cache.encode(state, token=1,
+                            variant=("quant", 4, 0, True)) is quant
+        assert cache.hits == 2
+        # a different quant config is yet another key
+        cache.encode(state, token=1, variant=("quant", 8, 0, True))
+        assert cache.misses == 3
+
+    def test_variant_eviction_is_per_key(self):
+        """With a bounded cache, hammering one variant evicts LRU entries
+        of the other rather than corrupting them."""
+        cache = BroadcastCache(max_entries=2)
+        state = _rand_state(13)
+        cache.encode(state, token=1)                     # key A
+        cache.encode(state, token=1, variant=("quant", 4, 0, True))  # key B
+        cache.encode(state, token=1, variant=("quant", 8, 0, True))  # evicts A
+        assert cache.evictions == 1
+        cache.encode(state, token=1)                     # A re-encodes
+        assert cache.misses == 4
+
     def test_eviction_counter_exported_to_metrics(self):
         """LRU evictions land in both ``cache.evictions`` and the
         ``wire.broadcast_evictions`` registry counter."""
